@@ -1,0 +1,46 @@
+"""A6: hardware cost vs benefit of each repair mechanism.
+
+Joins the storage-cost model (bits of shadow state per in-flight
+branch, extra stack bits) with the measured hit rates: the paper's
+pointer+contents proposal sits at the knee — ~69 bits per branch buys
+within a point or two of a full checkpoint that would cost >2000 bits
+per branch.
+"""
+
+from repro.analysis import mechanism_costs
+from repro.config import RepairMechanism, baseline_config
+from repro.core.experiment import run_cycle
+from repro.workloads import build_workload
+
+
+def test_hardware_cost_benefit(benchmark, emit, bench_scale, bench_seed):
+    def build():
+        program = build_workload("li", seed=bench_seed, scale=bench_scale)
+        accuracy = {}
+        for mechanism in RepairMechanism:
+            config = baseline_config().with_repair(mechanism)
+            result, _ = run_cycle(program, config)
+            accuracy[mechanism] = result.return_accuracy
+        rows = []
+        for cost in mechanism_costs(baseline_config().predictor):
+            acc = accuracy[cost.mechanism]
+            rows.append([
+                cost.mechanism.value,
+                cost.bits_per_checkpoint,
+                cost.extra_stack_bits,
+                cost.total_bits(20),
+                None if acc is None else round(100 * acc, 2),
+            ])
+        headers = ["mechanism", "bits/branch", "extra stack bits",
+                   "total bits (20 in flight)", "li return acc %"]
+        return ("Ablation: hardware cost vs benefit (32-entry RAS)",
+                headers, rows)
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_hardware_cost", table)
+    rows = {row[0]: row for row in table[2]}
+    contents = rows["tos-pointer-contents"]
+    full = rows["full-stack"]
+    # the knee: within a few points of full at a tiny fraction of cost.
+    assert contents[4] > full[4] - 5.0
+    assert contents[1] < full[1] / 10

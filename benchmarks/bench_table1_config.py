@@ -1,0 +1,10 @@
+"""T1: the baseline machine model (paper Table 1)."""
+
+from repro.core import table1
+
+
+def test_table1_baseline_config(benchmark, emit):
+    table = benchmark.pedantic(table1, rounds=1, iterations=1)
+    text = emit("table1_config", table)
+    assert "return-address stack" in text
+    assert "GAg" in text

@@ -1,0 +1,18 @@
+"""T3: baseline control-flow prediction on the cycle model."""
+
+from repro.core import table3_baseline
+
+
+def test_table3_baseline_prediction(benchmark, emit, bench_scale, bench_seed):
+    table = benchmark.pedantic(
+        table3_baseline,
+        kwargs={"seed": bench_seed, "scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    text = emit("table3_baseline_prediction", table)
+    rows = table[2]
+    assert len(rows) == 8
+    # With pointer+contents repair the baseline should predict returns
+    # at near-paper accuracy on every benchmark.
+    for row in rows:
+        assert row[4] is None or row[4] > 80.0

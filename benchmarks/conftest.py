@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench target regenerates one table or figure of the paper: it
+builds the rows once (inside the timed benchmark call), prints them,
+and also writes them under ``benchmarks/out/`` so the output survives
+pytest's capture. Scale and seed come from REPRO_SCALE / REPRO_SEED.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it to benchmarks/out/."""
+    from repro.stats.tables import format_table
+
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, table_data) -> str:
+        title, headers, rows = table_data
+        text = format_table(headers, rows, title=title)
+        print()
+        print(text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        return text
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "1"))

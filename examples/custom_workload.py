@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Authoring custom workloads, two ways.
+
+1. Hand-written assembly through :class:`repro.isa.ProgramBuilder` — a
+   mutual-recursion kernel whose call depth we control exactly.
+2. A custom :class:`repro.workloads.WorkloadProfile` — a synthetic
+   benchmark with pathological recursion depth to stress small stacks.
+
+Run:  python examples/custom_workload.py
+"""
+
+import dataclasses
+
+from repro.config import RepairMechanism, baseline_config
+from repro.core.sweep import stack_depth_sweep
+from repro.pipeline import SinglePathCPU
+from repro.workloads import WorkloadGenerator, profile_for
+from repro.workloads.kernels import mutual_recursion_kernel
+
+
+def hand_written_demo():
+    print("=== hand-written kernel: mutual recursion, depth 48 ===")
+    program = mutual_recursion_kernel(depth=48)
+    print(program.disassemble(count=12))
+    print("   ...")
+    for entries in (8, 64):
+        config = (baseline_config()
+                  .with_repair(RepairMechanism.TOS_POINTER_AND_CONTENTS)
+                  .with_ras_entries(entries))
+        result = SinglePathCPU(program, config).run()
+        print(f"  {entries:3d}-entry RAS: return accuracy "
+              f"{result.return_accuracy:6.1%}, "
+              f"overflows={result.counter('ras_overflows')}")
+    print()
+
+
+def custom_profile_demo():
+    print("=== custom profile: li with pathological recursion ===")
+    base = profile_for("li")
+    deep = dataclasses.replace(
+        base,
+        name="li-deep",
+        max_recursion_depth=60,     # far beyond a 32-entry stack
+        recursive_functions=6,
+        outer_iterations=8,
+    )
+    program = WorkloadGenerator(deep, seed=7).generate()
+    results = stack_depth_sweep(
+        program, (8, 16, 32, 64, 128),
+        RepairMechanism.TOS_POINTER_AND_CONTENTS)
+    for size, accuracy in results.items():
+        print(f"  {size:4d}-entry RAS: return accuracy {accuracy:6.1%}")
+    print("\nEven a 21264-sized (32-entry) stack overflows here; the "
+          "paper's 'just make the stack deeper' remark has limits.")
+
+
+if __name__ == "__main__":
+    hand_written_demo()
+    custom_profile_demo()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The paper's main experiment on one workload: every repair mechanism,
+hit rate and IPC, on the cycle-level model.
+
+Run:  python examples/repair_mechanism_study.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.config import RepairMechanism, baseline_config
+from repro.core.experiment import run_cycle
+from repro.core.sweep import mechanism_sweep
+from repro.stats import format_table
+from repro.workloads import build_workload
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "li"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    program = build_workload(benchmark, seed=1, scale=scale)
+    print(f"workload: {benchmark} (scale={scale}, "
+          f"{len(program)} static instructions)\n")
+
+    results = mechanism_sweep(program, list(RepairMechanism))
+    btb_only, _ = run_cycle(program, baseline_config().without_ras())
+
+    rows = []
+    for mechanism, summary in results.items():
+        rows.append([
+            mechanism.value,
+            summary["instructions"],
+            round(summary["ipc"], 3),
+            None if summary["return_accuracy"] is None
+            else round(100 * summary["return_accuracy"], 2),
+            summary["mispredictions"],
+            summary["squashed"],
+        ])
+    rows.append([
+        "(btb-only, no RAS)",
+        btb_only.instructions,
+        round(btb_only.ipc, 3),
+        None if btb_only.return_accuracy is None
+        else round(100 * btb_only.return_accuracy, 2),
+        btb_only.counter("mispredictions"),
+        btb_only.counter("squashed"),
+    ])
+    print(format_table(
+        ["mechanism", "insts", "ipc", "return acc %", "mispredicts",
+         "squashed"],
+        rows,
+        title=f"Repair mechanisms on {benchmark}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Stack-depth sensitivity with an ASCII curve (the paper's F3).
+
+Deep call chains and recursion overflow small stacks; the curve
+flattens once the stack covers the workload's common call depth.
+
+Run:  python examples/stack_depth_study.py [benchmark]
+"""
+
+import sys
+
+from repro.config import RepairMechanism
+from repro.core.sweep import stack_depth_sweep
+from repro.workloads import build_workload
+
+SIZES = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+
+def bar(fraction: float, width: int = 50) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "vortex"
+    program = build_workload(benchmark, seed=1, scale=0.5)
+    print(f"return hit rate vs stack depth — {benchmark} "
+          f"(fast front-end model)\n")
+    for mechanism in (RepairMechanism.NONE,
+                      RepairMechanism.TOS_POINTER_AND_CONTENTS):
+        print(f"mechanism: {mechanism.value}")
+        results = stack_depth_sweep(program, SIZES, mechanism)
+        for size in SIZES:
+            accuracy = results[size] or 0.0
+            print(f"  {size:3d} entries |{bar(accuracy)}| {accuracy:6.1%}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: all metadata lives in pyproject.toml.
+
+Kept so the package installs in offline environments where the `wheel`
+package (needed for PEP 660 editable builds) is unavailable:
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — return-address-stack repair mechanisms (Skadron et al., MICRO-31 1998).
+
+Public API surface; see README.md for a tour. The headline entry points:
+
+* :func:`repro.config.baseline_config` — the paper's Table 1 machine.
+* :func:`repro.workloads.build_workload` — SPECint95-inspired programs.
+* :class:`repro.pipeline.SinglePathCPU` — cycle-level out-of-order model.
+* :class:`repro.multipath.MultipathCPU` — multipath execution model.
+* :func:`repro.core.run_experiment` — one (config, workload) simulation.
+"""
+
+from repro.config import (
+    MachineConfig,
+    RepairMechanism,
+    StackOrganization,
+    baseline_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "RepairMechanism",
+    "StackOrganization",
+    "baseline_config",
+    "__version__",
+]

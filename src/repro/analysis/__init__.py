@@ -1,0 +1,26 @@
+"""Analysis instruments.
+
+* :mod:`repro.analysis.corruption` — classifies every return
+  misprediction by the *weakest repair mechanism that would have fixed
+  it*, reproducing the paper's Section 4 argument that the wrong-path
+  pop-then-push overwrite dominates (hence pointer+contents ~ full).
+* :mod:`repro.analysis.returns` — compares the RAS against general
+  indirect-branch predictors (BTB, Chang/Hao/Patt-style target cache)
+  on return prediction, reproducing the related-work claim that history
+  mechanisms "do not achieve the near-100% accuracies possible with a
+  return-address stack".
+"""
+
+from repro.analysis.corruption import CorruptionAnalyzer, CorruptionBreakdown
+from repro.analysis.hardware_cost import MechanismCost, cost_table, mechanism_costs
+from repro.analysis.returns import ReturnPredictorComparison, compare_return_predictors
+
+__all__ = [
+    "CorruptionAnalyzer",
+    "CorruptionBreakdown",
+    "MechanismCost",
+    "ReturnPredictorComparison",
+    "compare_return_predictors",
+    "cost_table",
+    "mechanism_costs",
+]

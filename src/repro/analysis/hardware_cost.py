@@ -1,0 +1,95 @@
+"""Hardware-cost model for the repair mechanisms.
+
+The paper's §4 argues costs qualitatively: saving the TOS pointer adds
+"several bits per branch" to the existing shadow state; saving the top
+entry's contents adds one address; full-stack checkpointing is clearly
+infeasible per branch; Jourdan-style self-checkpointing avoids per-
+branch storage but "requires a larger number of stack entries". This
+module makes those comparisons concrete in bits, for a configurable
+machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.config.machine import BranchPredictorConfig
+from repro.config.options import RepairMechanism
+
+
+@dataclass(frozen=True)
+class MechanismCost:
+    """Storage cost of one repair mechanism."""
+
+    mechanism: RepairMechanism
+    #: Bits checkpointed per in-flight branch (shadow state).
+    bits_per_checkpoint: int
+    #: Extra bits added to the stack structure itself.
+    extra_stack_bits: int
+
+    def total_bits(self, in_flight_branches: int) -> int:
+        return (self.bits_per_checkpoint * in_flight_branches
+                + self.extra_stack_bits)
+
+
+def _pointer_bits(entries: int) -> int:
+    return max(1, math.ceil(math.log2(entries)))
+
+
+def mechanism_costs(
+    config: BranchPredictorConfig,
+    address_bits: int = 64,
+) -> List[MechanismCost]:
+    """Cost of every mechanism under ``config``.
+
+    ``address_bits`` is the width of a return address as stored in the
+    stack (64 for this ISA; a real implementation stores fewer —
+    the comparison between mechanisms is unaffected).
+    """
+    entries = config.ras_entries
+    pointer = _pointer_bits(entries)
+    pool = entries * config.self_checkpoint_overprovision
+    pool_pointer = _pointer_bits(pool)
+    return [
+        MechanismCost(RepairMechanism.NONE, 0, 0),
+        MechanismCost(RepairMechanism.TOS_POINTER, pointer, 0),
+        MechanismCost(
+            RepairMechanism.TOS_POINTER_AND_CONTENTS,
+            pointer + address_bits, 0),
+        MechanismCost(
+            RepairMechanism.FULL_STACK,
+            pointer + entries * address_bits, 0),
+        MechanismCost(
+            RepairMechanism.VALID_BITS,
+            # pointer plus a push-horizon tag; the valid bits live in
+            # the stack (1 per entry) with a writer tag per entry.
+            pointer + pointer, entries * (1 + pointer)),
+        MechanismCost(
+            RepairMechanism.SELF_CHECKPOINT,
+            pool_pointer,
+            # extra physical entries plus a next-pointer per entry,
+            # relative to the plain circular stack.
+            (pool - entries) * address_bits + pool * pool_pointer),
+    ]
+
+
+def cost_table(
+    config: BranchPredictorConfig,
+    in_flight_branches: int = 20,
+    address_bits: int = 64,
+) -> List[List[object]]:
+    """Rows: mechanism, bits/checkpoint, stack-extra bits, total bits.
+
+    ``in_flight_branches`` defaults to the 21264's ~20 shadow slots.
+    """
+    rows: List[List[object]] = []
+    for cost in mechanism_costs(config, address_bits):
+        rows.append([
+            cost.mechanism.value,
+            cost.bits_per_checkpoint,
+            cost.extra_stack_bits,
+            cost.total_bits(in_flight_branches),
+        ])
+    return rows

@@ -1,0 +1,47 @@
+"""Branch prediction: direction predictors, BTB, and the return-address
+stack with the paper's repair mechanisms.
+
+Composition mirrors the paper's Table 1 front end:
+
+* :class:`HybridPredictor` — McFarling-style GAg + PAg with a selector;
+* :class:`BranchTargetBuffer` — decoupled, taken-branches-only;
+* :class:`CircularRas` / :class:`LinkedRas` — the return-address stack,
+  parameterised by :class:`~repro.config.RepairMechanism`;
+* :class:`FrontEndPredictor` — the facade the pipelines talk to.
+"""
+
+from repro.bpred.twobit import SaturatingCounter, CounterTable
+from repro.bpred.bimodal import BimodalPredictor
+from repro.bpred.gag import GAgPredictor
+from repro.bpred.gshare import GsharePredictor
+from repro.bpred.pag import PAgPredictor
+from repro.bpred.hybrid import HybridPredictor
+from repro.bpred.direction import DIRECTION_KINDS, make_direction_predictor
+from repro.bpred.btb import BranchTargetBuffer
+from repro.bpred.target_cache import TargetCache
+from repro.bpred.ras import BaseRas, CircularRas, LinkedRas, make_ras
+from repro.bpred.repair import ShadowCheckpointPool
+from repro.bpred.confidence import JrsConfidenceEstimator
+from repro.bpred.predictor import FrontEndPredictor, Prediction
+
+__all__ = [
+    "BaseRas",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "CircularRas",
+    "CounterTable",
+    "DIRECTION_KINDS",
+    "FrontEndPredictor",
+    "GAgPredictor",
+    "GsharePredictor",
+    "HybridPredictor",
+    "JrsConfidenceEstimator",
+    "LinkedRas",
+    "PAgPredictor",
+    "Prediction",
+    "SaturatingCounter",
+    "ShadowCheckpointPool",
+    "TargetCache",
+    "make_direction_predictor",
+    "make_ras",
+]

@@ -1,0 +1,27 @@
+"""The classic bimodal predictor (J. Smith, 1981).
+
+One PC-indexed table of 2-bit saturating counters — no history at all.
+Included as the weak end of the direction-predictor spectrum for the
+corruption-pressure ablation (A7): worse direction prediction means
+more wrong paths, more RAS corruption, and a larger payoff from repair.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.twobit import CounterTable
+from repro.isa.opcodes import WORD_SIZE
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counters."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self, entries: int = 4096) -> None:
+        self._table = CounterTable(entries, bits=2)
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(pc // WORD_SIZE)
+
+    def update(self, pc: int, outcome: bool) -> None:
+        self._table.update(pc // WORD_SIZE, outcome)

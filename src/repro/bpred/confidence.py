@@ -1,0 +1,60 @@
+"""JRS branch-confidence estimation (Jacobsen, Rotenberg & Smith).
+
+A table of resetting "miss distance" counters: each correct prediction
+increments the branch's counter (saturating); each misprediction resets
+it to zero. A low counter value means the branch has mispredicted
+recently and is likely to mispredict again — exactly the branches a
+multipath processor should fork on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.opcodes import WORD_SIZE
+from repro.stats import StatGroup
+
+
+class JrsConfidenceEstimator:
+    """Resetting-counter confidence table, indexed by branch PC."""
+
+    def __init__(
+        self,
+        entries: int = 1024,
+        threshold: int = 4,
+        maximum: int = 15,
+    ) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 0 <= threshold <= maximum:
+            raise ValueError("threshold must lie within [0, maximum]")
+        self.entries = entries
+        self.threshold = threshold
+        self.maximum = maximum
+        self._table: List[int] = [0] * entries
+        self.stats = StatGroup("confidence")
+        self._queries = self.stats.counter("queries")
+        self._low = self.stats.counter("low_confidence")
+
+    def _index(self, pc: int) -> int:
+        return (pc // WORD_SIZE) & (self.entries - 1)
+
+    def is_low_confidence(self, pc: int) -> bool:
+        """Should a multipath processor fork on the branch at ``pc``?"""
+        self._queries.increment()
+        low = self._table[self._index(pc)] < self.threshold
+        if low:
+            self._low.increment()
+        return low
+
+    def value(self, pc: int) -> int:
+        return self._table[self._index(pc)]
+
+    def update(self, pc: int, correct: bool) -> None:
+        """Commit-time training: saturating increment / reset to zero."""
+        index = self._index(pc)
+        if correct:
+            if self._table[index] < self.maximum:
+                self._table[index] += 1
+        else:
+            self._table[index] = 0

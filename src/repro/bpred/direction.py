@@ -1,0 +1,55 @@
+"""Direction-predictor factory.
+
+The baseline is the paper's McFarling hybrid; the alternatives exist
+for the A7 ablation (repair payoff vs direction-predictor quality) and
+for users studying other design points.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.bpred.bimodal import BimodalPredictor
+from repro.bpred.gag import GAgPredictor
+from repro.bpred.gshare import GsharePredictor
+from repro.bpred.hybrid import HybridPredictor
+from repro.bpred.pag import PAgPredictor
+from repro.config.machine import BranchPredictorConfig
+from repro.errors import ConfigError
+
+DirectionPredictor = Union[
+    BimodalPredictor, GAgPredictor, GsharePredictor, HybridPredictor,
+    PAgPredictor,
+]
+
+#: Recognised direction-predictor kinds.
+DIRECTION_KINDS = ("hybrid", "gshare", "bimodal", "gag", "pag")
+
+
+def make_direction_predictor(
+    config: BranchPredictorConfig,
+) -> DirectionPredictor:
+    """Build the direction predictor named by ``config.direction_kind``.
+
+    Single-component predictors reuse ``gag_entries`` as their table
+    size so capacity comparisons stay honest.
+    """
+    kind = config.direction_kind
+    if kind == "hybrid":
+        return HybridPredictor(
+            config.gag_entries,
+            config.pag_history_entries,
+            config.pag_history_bits,
+            config.selector_entries,
+        )
+    if kind == "gshare":
+        return GsharePredictor(config.gag_entries)
+    if kind == "bimodal":
+        return BimodalPredictor(config.gag_entries)
+    if kind == "gag":
+        return GAgPredictor(config.gag_entries)
+    if kind == "pag":
+        return PAgPredictor(config.pag_history_entries,
+                            config.pag_history_bits)
+    raise ConfigError(
+        f"unknown direction predictor {kind!r}; choose from {DIRECTION_KINDS}")

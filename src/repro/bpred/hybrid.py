@@ -1,0 +1,56 @@
+"""The McFarling two-component hybrid direction predictor.
+
+Combines the 4K GAg and 1K x 10 PAg with a 4K-entry selector of 2-bit
+counters indexed by global history, exactly as the paper's Table 1
+describes. The selector counter leans toward the component it names:
+high values choose the global component, low values the local one, and
+it trains toward whichever component was right when they disagree.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.gag import GAgPredictor
+from repro.bpred.pag import PAgPredictor
+from repro.bpred.twobit import CounterTable
+from repro.stats import StatGroup
+
+
+class HybridPredictor:
+    """GAg/PAg hybrid with a global-history-indexed selector."""
+
+    def __init__(
+        self,
+        gag_entries: int = 4096,
+        pag_history_entries: int = 1024,
+        pag_history_bits: int = 10,
+        selector_entries: int = 4096,
+    ) -> None:
+        self.gag = GAgPredictor(gag_entries)
+        self.pag = PAgPredictor(pag_history_entries, pag_history_bits)
+        self._selector = CounterTable(selector_entries, bits=2)
+        self.stats = StatGroup("hybrid")
+        self._accuracy = self.stats.rate("direction_accuracy")
+        self._global_chosen = self.stats.counter("global_component_chosen")
+        self._local_chosen = self.stats.counter("local_component_chosen")
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the conditional branch at ``pc``."""
+        if self._selector.predict(self.gag.history):
+            self._global_chosen.increment()
+            return self.gag.predict(pc)
+        self._local_chosen.increment()
+        return self.pag.predict(pc)
+
+    def update(self, pc: int, outcome: bool) -> None:
+        """Commit-time training of both components and the selector."""
+        global_pred = self.gag.predict(pc)
+        local_pred = self.pag.predict(pc)
+        if global_pred != local_pred:
+            # Train the selector toward the component that was correct.
+            self._selector.update(self.gag.history, global_pred == outcome)
+        self.pag.update(pc, outcome)
+        self.gag.update(pc, outcome)  # last: shifts the global history
+
+    def record_outcome(self, correct: bool) -> None:
+        """Book-keeping hook for the front end's accuracy statistics."""
+        self._accuracy.record(correct)

@@ -1,0 +1,47 @@
+"""PAg: a per-address-history two-level adaptive predictor (Yeh & Patt).
+
+Each branch (hashed by PC) owns a private history register in a first-
+level table; all histories index one shared second-level pattern table
+of 2-bit counters. The paper's baseline uses 1K histories of 10 bits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bpred.twobit import CounterTable
+from repro.isa.opcodes import WORD_SIZE
+
+
+class PAgPredictor:
+    """Per-branch-history predictor with commit-time update."""
+
+    __slots__ = ("history_entries", "history_bits", "_histories", "_pattern")
+
+    def __init__(self, history_entries: int = 1024, history_bits: int = 10) -> None:
+        if history_entries & (history_entries - 1):
+            raise ValueError("history_entries must be a power of two")
+        self.history_entries = history_entries
+        self.history_bits = history_bits
+        self._histories: List[int] = [0] * history_entries
+        self._pattern = CounterTable(1 << history_bits, bits=2)
+
+    def _history_index(self, pc: int) -> int:
+        # Drop the word-offset bits so consecutive instructions spread
+        # over distinct rows.
+        return (pc // WORD_SIZE) & (self.history_entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        history = self._histories[self._history_index(pc)]
+        return self._pattern.predict(history)
+
+    def update(self, pc: int, outcome: bool) -> None:
+        index = self._history_index(pc)
+        history = self._histories[index]
+        self._pattern.update(history, outcome)
+        self._histories[index] = ((history << 1) | int(outcome)) & (
+            (1 << self.history_bits) - 1
+        )
+
+    def history_of(self, pc: int) -> int:
+        return self._histories[self._history_index(pc)]

@@ -1,0 +1,307 @@
+"""The return-address stack and its repair mechanisms.
+
+This module is the paper's primary contribution surface. Two physical
+organisations are provided:
+
+* :class:`CircularRas` — the conventional circular buffer (Alpha
+  21164/21264 style). Pushes advance the top-of-stack (TOS) pointer and
+  overwrite; pops retreat it. Overflow and underflow silently wrap. The
+  repair mechanism decides what :meth:`~CircularRas.checkpoint` saves at
+  each predicted branch and what :meth:`~CircularRas.restore` puts back
+  on misprediction recovery:
+
+  ========================  =============================================
+  NONE                      nothing — wrong-path pushes/pops persist
+  TOS_POINTER               the TOS pointer (Cyrix-patent style)
+  TOS_POINTER_AND_CONTENTS  pointer + the top entry's contents (the
+                            paper's proposal: also repairs the common
+                            wrong-path pop-then-push overwrite)
+  FULL_STACK                the whole stack (upper bound)
+  VALID_BITS                pointer, plus Pentium-style valid bits:
+                            entries written by squashed wrong-path
+                            pushes are detectable and a pop of an
+                            invalid entry yields *no* prediction
+  ========================  =============================================
+
+* :class:`LinkedRas` — Jourdan-style self-checkpointing: every push
+  allocates a fresh physical entry from a circular pool and links it to
+  the previous top, so pops never destroy contents and a pointer-only
+  checkpoint restores the full logical stack — until the pool recycles
+  a still-referenced entry, which is why this scheme needs more physical
+  entries than logical depth (the paper's observation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config.options import RepairMechanism
+from repro.errors import ConfigError
+from repro.stats import StatGroup
+
+#: Opaque checkpoint token; layout is private to each implementation.
+Checkpoint = Tuple
+
+
+class BaseRas:
+    """Interface shared by both stack organisations."""
+
+    def __init__(self, name: str) -> None:
+        self.stats = StatGroup(name)
+        self._pushes = self.stats.counter("pushes")
+        self._pops = self.stats.counter("pops")
+        self._overflows = self.stats.counter("overflows")
+        self._underflows = self.stats.counter("underflows")
+        self._restores = self.stats.counter("restores")
+
+    # -- interface -----------------------------------------------------
+    def push(self, address: int) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def top(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def checkpoint(self) -> Optional[Checkpoint]:
+        raise NotImplementedError
+
+    def restore(self, token: Optional[Checkpoint]) -> None:
+        raise NotImplementedError
+
+    def clone(self):
+        """Deep-copy this stack (per-path copies under multipath)."""
+        raise NotImplementedError
+
+    def logical_entries(self) -> List[int]:
+        """Top-first logical contents (tests and diagnostics only)."""
+        raise NotImplementedError
+
+
+class CircularRas(BaseRas):
+    """Circular-buffer RAS with a configurable repair mechanism."""
+
+    def __init__(
+        self,
+        entries: int,
+        repair: RepairMechanism = RepairMechanism.TOS_POINTER_AND_CONTENTS,
+        contents_depth: int = 1,
+    ) -> None:
+        """``contents_depth`` generalises TOS_POINTER_AND_CONTENTS to
+        checkpoint the top *k* entries — the paper notes "one can, of
+        course, save an arbitrary number of return-address-stack entries
+        this way; the extreme would be to checkpoint the entire stack".
+        ``contents_depth=1`` is the paper's proposal; ``entries`` is the
+        full-checkpoint extreme.
+        """
+        if repair is RepairMechanism.SELF_CHECKPOINT:
+            raise ConfigError("SELF_CHECKPOINT requires LinkedRas; use make_ras()")
+        if entries < 1:
+            raise ConfigError("RAS needs at least one entry")
+        if not 1 <= contents_depth <= entries:
+            raise ConfigError("contents_depth must be in [1, entries]")
+        super().__init__(f"ras[{repair}]")
+        self.entries = entries
+        self.repair = repair
+        self.contents_depth = contents_depth
+        self._stack: List[int] = [0] * entries
+        self._tos = 0
+        #: Occupancy in [0, entries]; stats-only, not hardware state.
+        self._depth = 0
+        # Valid-bit machinery (only consulted under VALID_BITS).
+        self._valid: List[bool] = [False] * entries
+        self._writer: List[int] = [0] * entries
+        self._push_counter = 0
+
+    # -- stack operations ----------------------------------------------
+    def push(self, address: int) -> None:
+        self._pushes.increment()
+        self._push_counter += 1
+        tos = (self._tos + 1) % self.entries
+        self._tos = tos
+        self._stack[tos] = address
+        self._valid[tos] = True
+        self._writer[tos] = self._push_counter
+        if self._depth == self.entries:
+            self._overflows.increment()
+        else:
+            self._depth += 1
+
+    def pop(self) -> Optional[int]:
+        self._pops.increment()
+        tos = self._tos
+        value: Optional[int] = self._stack[tos]
+        if self.repair is RepairMechanism.VALID_BITS and not self._valid[tos]:
+            value = None
+        self._tos = (tos - 1) % self.entries
+        if self._depth == 0:
+            self._underflows.increment()
+        else:
+            self._depth -= 1
+        return value
+
+    def top(self) -> Optional[int]:
+        if self.repair is RepairMechanism.VALID_BITS and not self._valid[self._tos]:
+            return None
+        return self._stack[self._tos]
+
+    # -- repair ----------------------------------------------------------
+    def checkpoint(self) -> Optional[Checkpoint]:
+        repair = self.repair
+        if repair is RepairMechanism.NONE:
+            return None
+        if repair is RepairMechanism.TOS_POINTER:
+            return (self._tos, self._depth)
+        if repair is RepairMechanism.TOS_POINTER_AND_CONTENTS:
+            if self.contents_depth == 1:
+                return (self._tos, self._depth, self._stack[self._tos])
+            saved = tuple(
+                self._stack[(self._tos - offset) % self.entries]
+                for offset in range(self.contents_depth)
+            )
+            return (self._tos, self._depth, saved)
+        if repair is RepairMechanism.FULL_STACK:
+            return (self._tos, self._depth, tuple(self._stack), tuple(self._valid))
+        # VALID_BITS: pointer plus the push horizon for invalidation.
+        return (self._tos, self._depth, self._push_counter)
+
+    def restore(self, token: Optional[Checkpoint]) -> None:
+        if token is None:
+            return
+        self._restores.increment()
+        repair = self.repair
+        self._tos = token[0]
+        self._depth = token[1]
+        if repair is RepairMechanism.TOS_POINTER_AND_CONTENTS:
+            if self.contents_depth == 1:
+                self._stack[self._tos] = token[2]
+                self._valid[self._tos] = True
+            else:
+                for offset, value in enumerate(token[2]):
+                    index = (self._tos - offset) % self.entries
+                    self._stack[index] = value
+                    self._valid[index] = True
+        elif repair is RepairMechanism.FULL_STACK:
+            self._stack = list(token[2])
+            self._valid = list(token[3])
+        elif repair is RepairMechanism.VALID_BITS:
+            horizon = token[2]
+            for index in range(self.entries):
+                if self._writer[index] > horizon:
+                    self._valid[index] = False
+
+    # -- misc --------------------------------------------------------------
+    def clone(self) -> "CircularRas":
+        twin = CircularRas(self.entries, self.repair, self.contents_depth)
+        twin._stack = list(self._stack)
+        twin._tos = self._tos
+        twin._depth = self._depth
+        twin._valid = list(self._valid)
+        twin._writer = list(self._writer)
+        twin._push_counter = self._push_counter
+        return twin
+
+    def logical_entries(self) -> List[int]:
+        result = []
+        index = self._tos
+        for _ in range(self._depth):
+            result.append(self._stack[index])
+            index = (index - 1) % self.entries
+        return result
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+
+class LinkedRas(BaseRas):
+    """Jourdan-style self-checkpointing RAS (linked entries in a pool)."""
+
+    def __init__(self, logical_entries: int, overprovision: int = 4) -> None:
+        if logical_entries < 1 or overprovision < 1:
+            raise ConfigError("LinkedRas needs positive sizes")
+        super().__init__("ras[self-checkpoint]")
+        self.logical_size = logical_entries
+        self.pool_size = logical_entries * overprovision
+        self._address: List[int] = [0] * self.pool_size
+        self._next: List[int] = [-1] * self.pool_size
+        self._tos = -1  # -1 = empty stack
+        self._alloc = 0
+
+    def push(self, address: int) -> None:
+        self._pushes.increment()
+        slot = self._alloc
+        self._alloc = (self._alloc + 1) % self.pool_size
+        if slot == self._tos or self._is_live(slot):
+            self._overflows.increment()
+        self._address[slot] = address
+        self._next[slot] = self._tos
+        self._tos = slot
+
+    def _is_live(self, slot: int) -> bool:
+        """Is ``slot`` reachable from the current TOS? (stats only)
+
+        Bounded walk: the chain cannot meaningfully exceed the pool.
+        """
+        index = self._tos
+        for _ in range(self.pool_size):
+            if index == -1:
+                return False
+            if index == slot:
+                return True
+            index = self._next[index]
+        return False
+
+    def pop(self) -> Optional[int]:
+        self._pops.increment()
+        if self._tos == -1:
+            self._underflows.increment()
+            return None
+        value = self._address[self._tos]
+        self._tos = self._next[self._tos]
+        return value
+
+    def top(self) -> Optional[int]:
+        if self._tos == -1:
+            return None
+        return self._address[self._tos]
+
+    def checkpoint(self) -> Optional[Checkpoint]:
+        # Self-checkpointing: the pointer alone preserves contents,
+        # because pops never destroy entries and pushes never overwrite
+        # (until pool recycling — the cost the paper points out).
+        return (self._tos,)
+
+    def restore(self, token: Optional[Checkpoint]) -> None:
+        if token is None:
+            return
+        self._restores.increment()
+        self._tos = token[0]
+
+    def clone(self) -> "LinkedRas":
+        twin = LinkedRas(self.logical_size, self.pool_size // self.logical_size)
+        twin._address = list(self._address)
+        twin._next = list(self._next)
+        twin._tos = self._tos
+        twin._alloc = self._alloc
+        return twin
+
+    def logical_entries(self) -> List[int]:
+        result = []
+        index = self._tos
+        for _ in range(self.pool_size):
+            if index == -1:
+                break
+            result.append(self._address[index])
+            index = self._next[index]
+        return result
+
+
+def make_ras(entries: int, repair: RepairMechanism,
+             self_checkpoint_overprovision: int = 4,
+             contents_depth: int = 1) -> BaseRas:
+    """Build the stack organisation implied by ``repair``."""
+    if repair is RepairMechanism.SELF_CHECKPOINT:
+        return LinkedRas(entries, self_checkpoint_overprovision)
+    return CircularRas(entries, repair, contents_depth)

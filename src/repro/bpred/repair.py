@@ -1,0 +1,48 @@
+"""Shadow-checkpoint slot accounting.
+
+Real processors keep branch checkpoints (register maps, TOS pointers,
+...) in a limited pool of shadow-state slots — 4 on the MIPS R10000,
+about 20 on the Alpha 21264. When every slot is busy, a newly predicted
+branch proceeds *without* a checkpoint: if it later mispredicts, the
+return-address stack cannot be repaired for it. The A2 ablation bench
+sweeps this limit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.stats import StatGroup
+
+
+class ShadowCheckpointPool:
+    """Counts in-flight checkpoints against a (possibly unlimited) budget."""
+
+    def __init__(self, slots: Optional[int] = None) -> None:
+        """``slots=None`` models unlimited shadow state."""
+        if slots is not None and slots < 0:
+            raise ValueError("slots must be None or >= 0")
+        self.slots = slots
+        self.in_use = 0
+        self.stats = StatGroup("shadow_checkpoints")
+        self._acquired = self.stats.counter("acquired")
+        self._exhausted = self.stats.counter("exhausted")
+
+    def try_acquire(self) -> bool:
+        """Reserve one slot; False when the pool is exhausted."""
+        if self.slots is not None and self.in_use >= self.slots:
+            self._exhausted.increment()
+            return False
+        self.in_use += 1
+        self._acquired.increment()
+        return True
+
+    def release(self) -> None:
+        """Return one slot (at branch resolution or squash)."""
+        if self.in_use <= 0:
+            raise RuntimeError("release without matching acquire")
+        self.in_use -= 1
+
+    @property
+    def exhausted_count(self) -> int:
+        return self._exhausted.value

@@ -1,0 +1,69 @@
+"""A Chang/Hao/Patt-style target cache for indirect branches.
+
+Instead of direction history, the history register records recent
+*targets*; it is XOR-folded with the branch PC to index a table of last
+targets. The paper cites this family of predictors as the
+general-purpose alternative for indirect jumps — and notes that for
+returns they "do not achieve the near-100% accuracies possible with a
+return-address stack". :mod:`repro.analysis.returns` measures exactly
+that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.opcodes import WORD_SIZE
+from repro.stats import StatGroup
+
+
+class TargetCache:
+    """Target-history-indexed indirect-branch target predictor."""
+
+    def __init__(
+        self,
+        entries: int = 1024,
+        history_targets: int = 4,
+        bits_per_target: int = 4,
+    ) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if history_targets < 0:
+            raise ValueError("history_targets must be >= 0")
+        if not 1 <= bits_per_target <= 16:
+            raise ValueError("bits_per_target must be in [1, 16]")
+        self.entries = entries
+        self.history_targets = history_targets
+        self.bits_per_target = bits_per_target
+        self._history_mask = (1 << (history_targets * bits_per_target)) - 1
+        self._history = 0
+        self._table: List[Optional[int]] = [None] * entries
+        self.stats = StatGroup("target_cache")
+        self._lookups = self.stats.counter("lookups")
+        self._hits = self.stats.counter("hits")
+
+    def _index(self, pc: int) -> int:
+        return ((pc // WORD_SIZE) ^ self._history) & (self.entries - 1)
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted target for the indirect branch at ``pc``."""
+        self._lookups.increment()
+        predicted = self._table[self._index(pc)]
+        if predicted is not None:
+            self._hits.increment()
+        return predicted
+
+    def update(self, pc: int, target: int) -> None:
+        """Commit-time training: install the target, then shift it into
+        the global target history."""
+        self._table[self._index(pc)] = target
+        if self.history_targets:
+            folded = (target // WORD_SIZE) & ((1 << self.bits_per_target) - 1)
+            self._history = (
+                ((self._history << self.bits_per_target) ^ folded)
+                & self._history_mask
+            )
+
+    @property
+    def history(self) -> int:
+        return self._history

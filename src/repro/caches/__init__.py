@@ -1,0 +1,6 @@
+"""Memory hierarchy: set-associative caches and the two-level hierarchy."""
+
+from repro.caches.cache import Cache
+from repro.caches.hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "MemoryHierarchy"]

@@ -1,0 +1,63 @@
+"""One set-associative cache level with true-LRU replacement.
+
+Timing-only: the cache tracks which lines are present, not their data
+(functional values live in :class:`~repro.emu.MachineState`). This is
+exactly SimpleScalar's split between its cache module and its emulator.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config.machine import CacheConfig
+from repro.stats import StatGroup
+
+
+class Cache:
+    """Tag store for one cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self.stats = StatGroup(config.name)
+        self._accesses = self.stats.counter("accesses")
+        self._misses = self.stats.counter("misses")
+
+    def access(self, address: int) -> bool:
+        """Probe (and on miss, fill) the line holding ``address``.
+
+        Returns True on a hit. The miss path allocates immediately —
+        a simple blocking-fill model; latency accounting lives in
+        :class:`~repro.caches.hierarchy.MemoryHierarchy`.
+        """
+        self._accesses.increment()
+        line = address >> self._line_shift
+        ways = self._sets[line & self._set_mask]
+        try:
+            position = ways.index(line)
+        except ValueError:
+            self._misses.increment()
+            if len(ways) >= self.config.assoc:
+                ways.pop(0)
+            ways.append(line)
+            return False
+        if position != len(ways) - 1:
+            ways.append(ways.pop(position))
+        return True
+
+    def probe(self, address: int) -> bool:
+        """Check presence without updating LRU or filling (tests only)."""
+        line = address >> self._line_shift
+        return line in self._sets[line & self._set_mask]
+
+    @property
+    def miss_rate(self) -> float:
+        if self._accesses.value == 0:
+            return 0.0
+        return self._misses.value / self._accesses.value
+
+    def same_line(self, a: int, b: int) -> bool:
+        """Do addresses ``a`` and ``b`` share a cache line?"""
+        return (a >> self._line_shift) == (b >> self._line_shift)

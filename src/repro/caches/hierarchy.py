@@ -1,0 +1,44 @@
+"""The two-level cache hierarchy (Table 1's memory system)."""
+
+from __future__ import annotations
+
+from repro.caches.cache import Cache
+from repro.config.machine import MemoryHierarchyConfig
+
+
+class MemoryHierarchy:
+    """Split L1 I/D over a unified L2 over fixed-latency memory.
+
+    Every access returns the total latency in cycles. Mis-speculated
+    accesses go through the same path — wrong-path prefetching and
+    pollution are modelled, as the paper stresses.
+    """
+
+    def __init__(self, config: MemoryHierarchyConfig) -> None:
+        self.config = config
+        self.l1i = Cache(config.l1i)
+        self.l1d = Cache(config.l1d)
+        self.l2 = Cache(config.l2)
+
+    def _through_l2(self, address: int, l1_latency: int) -> int:
+        if self.l2.access(address):
+            return l1_latency + self.config.l2.hit_latency
+        return (l1_latency + self.config.l2.hit_latency
+                + self.config.memory_latency)
+
+    def fetch_instruction(self, address: int) -> int:
+        """Instruction-fetch access; returns latency in cycles."""
+        if self.l1i.access(address):
+            return self.config.l1i.hit_latency
+        return self._through_l2(address, self.config.l1i.hit_latency)
+
+    def access_data(self, address: int, is_store: bool = False) -> int:
+        """Load/store access; returns latency in cycles.
+
+        Stores use the same path (write-allocate); store latency is
+        hidden by the LSQ in the pipeline, but the line still moves,
+        which is what affects later loads.
+        """
+        if self.l1d.access(address):
+            return self.config.l1d.hit_latency
+        return self._through_l2(address, self.config.l1d.hit_latency)

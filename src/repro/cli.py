@@ -1,0 +1,245 @@
+"""Command-line driver: ``repro-sim`` / ``python -m repro``.
+
+Examples:
+    repro-sim table1
+    repro-sim table4 --scale 0.25
+    repro-sim hit-rates --names li vortex --scale 0.5
+    repro-sim run --benchmark li --mechanism tos-pointer-contents
+    repro-sim run --benchmark go --paths 4 --stacks per-path
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config.defaults import baseline_config
+from repro.config.options import RepairMechanism, StackOrganization
+from repro.core import tables as table_builders
+from repro.core.experiment import (
+    default_scale,
+    default_seed,
+    multipath_machine,
+    run_cycle,
+    run_multipath,
+)
+from repro.stats.tables import format_table
+from repro.workloads.characterize import table2 as build_table2
+from repro.workloads.generator import build_workload
+from repro.workloads.profiles import BENCHMARK_NAMES
+
+_TABLE_COMMANDS = {
+    "table1": lambda args: table_builders.table1(),
+    "table3": lambda args: table_builders.table3_baseline(
+        args.names, args.seed, args.scale),
+    "table4": lambda args: table_builders.table4_btb_only(
+        args.names, args.seed, args.scale),
+    "hit-rates": lambda args: table_builders.fig_hit_rates(
+        names=args.names, seed=args.seed, scale=args.scale),
+    "speedup": lambda args: table_builders.fig_speedup(
+        args.names, args.seed, args.scale),
+    "stack-depth": lambda args: table_builders.fig_stack_depth(
+        names=args.names, seed=args.seed, scale=args.scale),
+    "multipath": lambda args: table_builders.fig_multipath(
+        names=args.names, seed=args.seed, scale=args.scale),
+    "ablation-mechanisms": lambda args: table_builders.ablation_mechanisms(
+        args.names, args.seed, args.scale),
+    "ablation-shadow": lambda args: table_builders.ablation_shadow_slots(
+        names=args.names, seed=args.seed, scale=args.scale),
+    "ablation-fastsim": lambda args: table_builders.ablation_fastsim_crosscheck(
+        args.names, args.seed, args.scale),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Return-address-stack repair reproduction "
+                    "(Skadron et al., MICRO-31 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, names_default=None) -> None:
+        p.add_argument("--names", nargs="*",
+                       default=names_default,
+                       choices=BENCHMARK_NAMES,
+                       help="benchmarks to run (default: varies)")
+        p.add_argument("--seed", type=int, default=default_seed())
+        p.add_argument("--scale", type=float, default=default_scale())
+
+    for name in _TABLE_COMMANDS:
+        p = sub.add_parser(name, help=f"print {name}")
+        common(p)
+
+    p = sub.add_parser("table2", help="workload characterisation")
+    common(p)
+
+    p = sub.add_parser("corruption",
+                       help="classify return mispredictions by cause")
+    common(p)
+
+    p = sub.add_parser("return-predictors",
+                       help="RAS vs BTB vs target caches on returns")
+    common(p)
+
+    p = sub.add_parser("smt",
+                       help="SMT threads: shared vs per-thread stacks")
+    common(p)
+    p.add_argument("--benchmark", default="li", choices=BENCHMARK_NAMES)
+    p.add_argument("--threads", type=int, default=2)
+
+    p = sub.add_parser("run", help="simulate one benchmark")
+    common(p)
+    p.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
+    p.add_argument("--mechanism", default="tos-pointer-contents",
+                   choices=[m.value for m in RepairMechanism])
+    p.add_argument("--no-ras", action="store_true",
+                   help="disable the RAS (BTB-only returns)")
+    p.add_argument("--ras-entries", type=int, default=32)
+    p.add_argument("--paths", type=int, default=1,
+                   help=">1 selects the multipath model")
+    p.add_argument("--stacks", default="per-path",
+                   choices=[o.value for o in StackOrganization])
+
+    p = sub.add_parser("disasm", help="disassemble a generated benchmark")
+    common(p)
+    p.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
+    p.add_argument("--count", type=int, default=40)
+
+    p = sub.add_parser("report",
+                       help="regenerate every table/figure in one pass")
+    common(p)
+    p.add_argument("--out", default=None,
+                   help="write the report here instead of stdout")
+    p.add_argument("--full", action="store_true",
+                   help="include the slow sections (multipath, ablations)")
+    return parser
+
+
+def _fix_names(args: argparse.Namespace) -> None:
+    if getattr(args, "names", None) in (None, []):
+        args.names = list(BENCHMARK_NAMES)
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    program = build_workload(args.benchmark, seed=args.seed, scale=args.scale)
+    if args.paths > 1:
+        config = multipath_machine(
+            args.paths, StackOrganization(args.stacks))
+        result, _ = run_multipath(program, config)
+    else:
+        config = baseline_config()
+        config = config.with_repair(RepairMechanism(args.mechanism))
+        config = config.with_ras_entries(args.ras_entries)
+        if args.no_ras:
+            config = config.without_ras()
+        result, _ = run_cycle(program, config)
+    summary = result.as_dict()
+    rows = [[key, value] for key, value in summary.items()]
+    print(format_table(["stat", "value"], rows,
+                       title=f"{args.benchmark} (seed={args.seed}, "
+                             f"scale={args.scale})"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    _fix_names(args)
+    if args.command in _TABLE_COMMANDS:
+        title, headers, rows = _TABLE_COMMANDS[args.command](args)
+        print(format_table(headers, rows, title=title))
+        return 0
+    if args.command == "table2":
+        print(build_table2(args.names, seed=args.seed, scale=args.scale))
+        return 0
+    if args.command == "corruption":
+        from repro.analysis import CorruptionAnalyzer
+        from repro.analysis.corruption import CATEGORIES
+        rows = []
+        for name in args.names:
+            program = build_workload(name, seed=args.seed, scale=args.scale)
+            breakdown = CorruptionAnalyzer(
+                program, baseline_config().predictor).run()
+            row = [name, breakdown.returns]
+            for category in CATEGORIES:
+                fraction = breakdown.fraction(category)
+                row.append(None if fraction is None
+                           else round(100 * fraction, 2))
+            rows.append(row)
+        print(format_table(
+            ["benchmark", "returns"] + [f"{c} %" for c in CATEGORIES],
+            rows, title="Corruption-cause breakdown of returns"))
+        return 0
+    if args.command == "return-predictors":
+        from repro.analysis import compare_return_predictors
+        rows = []
+        columns = None
+        for name in args.names:
+            program = build_workload(name, seed=args.seed, scale=args.scale)
+            comparison = compare_return_predictors(program)
+            if columns is None:
+                columns = sorted(comparison.accuracy)
+            row = [name, comparison.returns]
+            row.extend(
+                None if comparison.accuracy[c] is None
+                else round(100 * comparison.accuracy[c], 2)
+                for c in columns
+            )
+            rows.append(row)
+        print(format_table(
+            ["benchmark", "returns"] + [f"{c} %" for c in (columns or [])],
+            rows, title="Return prediction: RAS vs indirect predictors"))
+        return 0
+    if args.command == "run":
+        return _run_command(args)
+    if args.command == "disasm":
+        program = build_workload(args.benchmark, seed=args.seed,
+                                 scale=args.scale)
+        print(program.disassemble(count=args.count))
+        return 0
+    if args.command == "smt":
+        from repro.smt import SmtFrontEndSim
+        programs = [
+            build_workload(args.benchmark, seed=args.seed + i,
+                           scale=args.scale)
+            for i in range(args.threads)
+        ]
+        rows = []
+        for per_thread in (False, True):
+            sim = SmtFrontEndSim(
+                programs, baseline_config().predictor,
+                per_thread_stacks=per_thread)
+            result = sim.run()
+            rows.append([
+                "per-thread" if per_thread else "shared",
+                result.instructions,
+                result.returns,
+                None if result.return_accuracy is None
+                else round(100 * result.return_accuracy, 2),
+            ])
+        print(format_table(
+            ["stacks", "instructions", "returns", "return acc %"],
+            rows,
+            title=f"SMT {args.threads}x {args.benchmark}"))
+        return 0
+    if args.command == "report":
+        from repro.core.report import build_report
+        text = build_report(
+            names=args.names, seed=args.seed, scale=args.scale,
+            full=args.full,
+            progress=lambda section: print(f"... {section}",
+                                           file=sys.stderr),
+        )
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

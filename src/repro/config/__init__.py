@@ -1,0 +1,31 @@
+"""Machine and experiment configuration.
+
+The default :class:`MachineConfig` mirrors the paper's Table 1 baseline —
+a 4-wide out-of-order core loosely modelled on the Alpha 21264, with a
+McFarling hybrid direction predictor, a decoupled BTB and a 32-entry
+return-address stack.
+"""
+
+from repro.config.options import RepairMechanism, StackOrganization
+from repro.config.machine import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    MemoryHierarchyConfig,
+    MultipathConfig,
+)
+from repro.config.defaults import baseline_config, table1_rows
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "MachineConfig",
+    "MemoryHierarchyConfig",
+    "MultipathConfig",
+    "RepairMechanism",
+    "StackOrganization",
+    "baseline_config",
+    "table1_rows",
+]

@@ -1,0 +1,57 @@
+"""Enumerations of the design choices the paper evaluates."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RepairMechanism(enum.Enum):
+    """Return-address-stack repair mechanism (the paper's Section 4).
+
+    The first four are the mechanisms the paper evaluates head-to-head;
+    the last two are related-work variants implemented as extensions.
+    """
+
+    #: No repair: wrong-path pushes and pops are never undone.
+    NONE = "none"
+    #: Checkpoint and restore only the top-of-stack pointer
+    #: (Cyrix-patent style; cheapest repair).
+    TOS_POINTER = "tos-pointer"
+    #: Checkpoint the TOS pointer *and* the contents of the top entry —
+    #: the paper's proposal; repairs the common pop-then-push overwrite.
+    TOS_POINTER_AND_CONTENTS = "tos-pointer-contents"
+    #: Checkpoint the entire stack at every prediction (upper bound).
+    FULL_STACK = "full-stack"
+    #: Pentium-style valid bits: detect corrupted entries after recovery
+    #: and fall back to the BTB when popping an invalid entry.
+    VALID_BITS = "valid-bits"
+    #: Jourdan-style self-checkpointing: pushes never overwrite entries
+    #: that a checkpointed pointer might still reference, so a
+    #: pointer-only restore also recovers contents.
+    SELF_CHECKPOINT = "self-checkpoint"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Mechanisms compared in the paper's main single-path evaluation (F1/F2).
+PRIMARY_MECHANISMS = (
+    RepairMechanism.NONE,
+    RepairMechanism.TOS_POINTER,
+    RepairMechanism.TOS_POINTER_AND_CONTENTS,
+    RepairMechanism.FULL_STACK,
+)
+
+
+class StackOrganization(enum.Enum):
+    """Return-address-stack organisation under multipath execution."""
+
+    #: One stack shared by every concurrent path (the broken baseline).
+    UNIFIED = "unified"
+    #: One shared stack with full checkpointing at every fork/prediction.
+    UNIFIED_CHECKPOINT = "unified-checkpoint"
+    #: A private stack per path context, copied on fork (the paper's fix).
+    PER_PATH = "per-path"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,53 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+This package is the reproduction's control room. ``experiment`` holds
+the engine-agnostic runners; ``tables`` builds the exact rows each
+bench target prints; ``sweep`` holds the parameter sweeps (stack depth,
+shadow slots, path counts).
+"""
+
+from repro.core.experiment import (
+    WorkloadSpec,
+    build_program,
+    multipath_machine,
+    run_cycle,
+    run_fast,
+    run_multipath,
+)
+from repro.core.tables import (
+    ablation_btb_capacity,
+    ablation_contents_depth,
+    ablation_direction_predictors,
+    ablation_fastsim_crosscheck,
+    ablation_mechanisms,
+    ablation_shadow_slots,
+    fig_hit_rates,
+    fig_multipath,
+    fig_speedup,
+    fig_stack_depth,
+    table1,
+    table3_baseline,
+    table4_btb_only,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "ablation_btb_capacity",
+    "ablation_contents_depth",
+    "ablation_direction_predictors",
+    "ablation_fastsim_crosscheck",
+    "ablation_mechanisms",
+    "ablation_shadow_slots",
+    "build_program",
+    "fig_hit_rates",
+    "fig_multipath",
+    "fig_speedup",
+    "fig_stack_depth",
+    "multipath_machine",
+    "run_cycle",
+    "run_fast",
+    "run_multipath",
+    "table1",
+    "table3_baseline",
+    "table4_btb_only",
+]

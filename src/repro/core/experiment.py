@@ -1,0 +1,106 @@
+"""Engine-agnostic experiment runners."""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import os
+from typing import Optional, Tuple
+
+from repro.config.machine import MachineConfig
+from repro.config.options import StackOrganization
+from repro.fastsim.frontend_sim import FastFrontEndSim, FastSimResult
+from repro.isa.program import Program
+from repro.multipath.cpu import MultipathCPU
+from repro.pipeline.cpu import SinglePathCPU
+from repro.pipeline.results import SimResult
+from repro.workloads.generator import build_workload
+
+
+def default_scale() -> float:
+    """Experiment scale, overridable via REPRO_SCALE.
+
+    1.0 runs ~50-150k instructions per workload; the benchmark defaults
+    use a smaller scale so the whole harness finishes in minutes on a
+    laptop. Raise it for tighter statistics.
+    """
+    return float(os.environ.get("REPRO_SCALE", "0.25"))
+
+
+def default_seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "1"))
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Identifies one synthetic-benchmark build."""
+
+    name: str
+    seed: int = 1
+    scale: float = 1.0
+
+
+@functools.lru_cache(maxsize=64)
+def _cached_build(name: str, seed: int, scale: float) -> Program:
+    return build_workload(name, seed=seed, scale=scale)
+
+
+def build_program(spec: WorkloadSpec) -> Program:
+    """Build (and memoise) the program for ``spec``."""
+    return _cached_build(spec.name, spec.seed, spec.scale)
+
+
+def run_cycle(
+    program: Program,
+    config: Optional[MachineConfig] = None,
+    max_instructions: Optional[int] = None,
+) -> Tuple[SimResult, SinglePathCPU]:
+    """Run the cycle-level single-path model; returns (result, cpu)."""
+    cpu = SinglePathCPU(program, config, max_instructions=max_instructions)
+    return cpu.run(), cpu
+
+
+def run_multipath(
+    program: Program,
+    config: MachineConfig,
+    max_instructions: Optional[int] = None,
+) -> Tuple[SimResult, MultipathCPU]:
+    """Run the cycle-level multipath model; returns (result, cpu)."""
+    cpu = MultipathCPU(program, config, max_instructions=max_instructions)
+    return cpu.run(), cpu
+
+
+def run_fast(
+    program: Program,
+    config: Optional[MachineConfig] = None,
+    **kwargs,
+) -> FastSimResult:
+    """Run the fast front-end model."""
+    predictor = (config or MachineConfig()).predictor
+    return FastFrontEndSim(program, predictor, **kwargs).run()
+
+
+def multipath_machine(
+    paths: int,
+    organization: StackOrganization,
+    base: Optional[MachineConfig] = None,
+) -> MachineConfig:
+    """A multipath machine with front-end bandwidth scaled to paths.
+
+    The paper notes multipath execution "requires ... more fetch,
+    rename, and issue bandwidth"; without it every fork halves the
+    per-path fetch rate and the organisation comparison is drowned in
+    front-end starvation. We scale fetch/decode width and the IFQ with
+    the path budget, leaving the window and backend untouched.
+    """
+    config = (base or MachineConfig()).with_multipath(paths, organization)
+    factor = max(1, paths // 2)
+    return dataclasses.replace(
+        config,
+        core=dataclasses.replace(
+            config.core,
+            fetch_width=config.core.fetch_width * factor,
+            decode_width=config.core.decode_width * factor,
+            ifq_size=config.core.ifq_size * factor,
+        ),
+    )

@@ -1,0 +1,96 @@
+"""One-shot reproduction report.
+
+``build_report`` regenerates the paper's tables and figures in one pass
+and renders them as a single text document — the programmatic twin of
+running the whole benchmark harness. The CLI exposes it as
+``repro-sim report [--out FILE]``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.core import tables as builders
+from repro.stats.tables import format_table
+from repro.workloads.characterize import table2 as build_table2
+from repro.workloads.profiles import BENCHMARK_NAMES
+
+#: The sections of a standard report, in paper order. Each entry is
+#: (section id, human title, builder or None for the table2 special
+#: case, include-in-quick-report, pass-the-names-argument). Sections
+#: with curated default benchmark subsets (F3, the ablations) keep
+#: their defaults rather than sweeping every benchmark.
+_SECTIONS = (
+    ("T1", "baseline machine model", builders.table1, True, False),
+    ("T2", "benchmark summary", None, True, True),
+    ("T3", "baseline control-flow prediction",
+     builders.table3_baseline, True, True),
+    ("T4", "BTB-only return prediction", builders.table4_btb_only, True, True),
+    ("F1", "hit rates by repair mechanism",
+     builders.fig_hit_rates, True, True),
+    ("F2", "speedup from repair", builders.fig_speedup, True, True),
+    ("F3", "stack-depth sensitivity", builders.fig_stack_depth, True, False),
+    ("F4", "multipath stack organisations",
+     builders.fig_multipath, False, False),
+    ("A1", "all repair mechanisms", builders.ablation_mechanisms, False, False),
+    ("A2", "shadow-checkpoint slots",
+     builders.ablation_shadow_slots, False, False),
+    ("A7", "direction-predictor families",
+     builders.ablation_direction_predictors, False, False),
+    ("A8", "checkpointed-contents depth",
+     builders.ablation_contents_depth, False, False),
+)
+
+
+def report_section_ids(full: bool = True) -> List[str]:
+    """The section ids a report will contain."""
+    return [sid for sid, _, _, quick, _ in _SECTIONS if full or quick]
+
+
+def build_report(
+    names: Sequence[str] = BENCHMARK_NAMES,
+    seed: int = 1,
+    scale: float = 0.25,
+    full: bool = False,
+    progress=None,
+) -> str:
+    """Build the text report.
+
+    Args:
+        names: benchmarks to include where a builder takes names.
+        seed, scale: experiment knobs (see DESIGN.md).
+        full: include the slow sections (multipath, ablations).
+        progress: optional callable invoked with each section id.
+    """
+    started = time.time()
+    parts: List[str] = [
+        "RETURN-ADDRESS-STACK REPAIR — reproduction report",
+        f"repro {__version__} | seed={seed} scale={scale} "
+        f"benchmarks={','.join(names)}",
+        "=" * 72,
+    ]
+    for section_id, title, builder, quick, takes_names in _SECTIONS:
+        if not full and not quick:
+            continue
+        if progress is not None:
+            progress(section_id)
+        parts.append("")
+        parts.append(f"[{section_id}] {title}")
+        parts.append("-" * 72)
+        if builder is None:
+            parts.append(build_table2(names, seed=seed, scale=scale))
+            continue
+        if section_id == "T1":
+            table_title, headers, rows = builder()
+        elif takes_names:
+            table_title, headers, rows = builder(
+                names=names, seed=seed, scale=scale)
+        else:
+            table_title, headers, rows = builder(seed=seed, scale=scale)
+        parts.append(format_table(headers, rows, title=table_title))
+    parts.append("")
+    parts.append(f"(generated in {time.time() - started:.1f}s; see "
+                 "EXPERIMENTS.md for the paper-vs-measured discussion)")
+    return "\n".join(parts)

@@ -1,0 +1,65 @@
+"""Programmatic parameter sweeps (the examples build on these)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config.defaults import baseline_config
+from repro.config.machine import MachineConfig
+from repro.config.options import RepairMechanism, StackOrganization
+from repro.core.experiment import multipath_machine, run_cycle, run_fast, run_multipath
+from repro.isa.program import Program
+
+
+def mechanism_sweep(
+    program: Program,
+    mechanisms: Iterable[RepairMechanism],
+    base: Optional[MachineConfig] = None,
+) -> Dict[RepairMechanism, Dict[str, object]]:
+    """Cycle-model run per repair mechanism; keyed summary dicts."""
+    base = base or baseline_config()
+    results = {}
+    for mechanism in mechanisms:
+        result, _ = run_cycle(program, base.with_repair(mechanism))
+        results[mechanism] = result.as_dict()
+    return results
+
+
+def stack_depth_sweep(
+    program: Program,
+    sizes: Sequence[int],
+    mechanism: RepairMechanism = RepairMechanism.TOS_POINTER_AND_CONTENTS,
+    use_fast_model: bool = True,
+) -> Dict[int, Optional[float]]:
+    """Return-hit-rate per stack depth."""
+    results: Dict[int, Optional[float]] = {}
+    for size in sizes:
+        config = baseline_config().with_repair(mechanism).with_ras_entries(size)
+        if use_fast_model:
+            results[size] = run_fast(program, config).return_accuracy
+        else:
+            result, _ = run_cycle(program, config)
+            results[size] = result.return_accuracy
+    return results
+
+
+def multipath_sweep(
+    program: Program,
+    path_counts: Sequence[int],
+    organizations: Iterable[StackOrganization] = tuple(StackOrganization),
+) -> List[Dict[str, object]]:
+    """IPC/accuracy grid over (paths, stack organisation)."""
+    rows = []
+    for paths in path_counts:
+        for organization in organizations:
+            config = multipath_machine(paths, organization)
+            result, _ = run_multipath(program, config)
+            rows.append({
+                "paths": paths,
+                "organization": organization,
+                "ipc": result.ipc,
+                "return_accuracy": result.return_accuracy,
+                "forks": result.counter("forks"),
+                "fork_saved": result.counter("fork_saved_mispredictions"),
+            })
+    return rows

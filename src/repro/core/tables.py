@@ -1,0 +1,422 @@
+"""Row builders for every table and figure in the evaluation.
+
+Each function returns ``(title, headers, rows)`` ready for
+:func:`repro.stats.format_table`; the benchmark targets under
+``benchmarks/`` print them, and EXPERIMENTS.md records representative
+output against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.config.defaults import baseline_config, table1_rows
+from repro.config.options import (
+    PRIMARY_MECHANISMS,
+    RepairMechanism,
+    StackOrganization,
+)
+from repro.core.experiment import (
+    WorkloadSpec,
+    build_program,
+    multipath_machine,
+    run_cycle,
+    run_fast,
+    run_multipath,
+)
+from repro.workloads.profiles import BENCHMARK_NAMES
+
+TableData = Tuple[str, List[str], List[List[object]]]
+
+
+def _specs(
+    names: Sequence[str], seed: int, scale: float
+) -> List[WorkloadSpec]:
+    return [WorkloadSpec(name, seed, scale) for name in names]
+
+
+def _pct(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(100.0 * value, 2)
+
+
+# ----------------------------------------------------------------------
+# T1 / T3 / T4.
+
+def table1() -> TableData:
+    """T1: the baseline machine model."""
+    rows = [[name, value] for name, value in table1_rows(baseline_config())]
+    return ("Table 1: baseline machine model", ["parameter", "value"], rows)
+
+
+def table3_baseline(
+    names: Sequence[str] = BENCHMARK_NAMES,
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """T3: baseline control-flow prediction on the cycle model."""
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        result, cpu = run_cycle(program, baseline_config())
+        rows.append([
+            spec.name,
+            result.instructions,
+            round(result.ipc, 3),
+            _pct(result.cond_accuracy),
+            _pct(result.return_accuracy),
+            _pct(result.indirect_accuracy),
+            _pct(cpu.frontend.btb.hit_rate),
+            result.counter("mispredictions"),
+        ])
+    headers = ["benchmark", "insts", "ipc", "cond acc %", "ret acc %",
+               "ind acc %", "btb hit %", "mispredicts"]
+    return ("Table 3: baseline control-flow prediction", headers, rows)
+
+
+def table4_btb_only(
+    names: Sequence[str] = BENCHMARK_NAMES,
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """T4: return prediction without a RAS (BTB only).
+
+    The paper: "Without a return-address stack, return addresses are
+    found in the BTB only a little over half the time."
+    """
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        config = baseline_config().without_ras()
+        result, cpu = run_cycle(program, config)
+        with_ras, _ = run_cycle(program, baseline_config())
+        rows.append([
+            spec.name,
+            _pct(result.return_accuracy),
+            _pct(with_ras.return_accuracy),
+            round(result.ipc, 3),
+            round(with_ras.ipc, 3),
+        ])
+    headers = ["benchmark", "btb-only ret acc %", "with-RAS ret acc %",
+               "btb-only ipc", "with-RAS ipc"]
+    return ("Table 4: BTB-only return prediction", headers, rows)
+
+
+# ----------------------------------------------------------------------
+# F1: hit rates per repair mechanism.
+
+def fig_hit_rates(
+    names: Sequence[str] = BENCHMARK_NAMES,
+    mechanisms: Iterable[RepairMechanism] = PRIMARY_MECHANISMS,
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """F1: committed-return hit rate by repair mechanism."""
+    mechanisms = list(mechanisms)
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        row: List[object] = [spec.name]
+        for mechanism in mechanisms:
+            config = baseline_config().with_repair(mechanism)
+            result, _ = run_cycle(program, config)
+            row.append(_pct(result.return_accuracy))
+        rows.append(row)
+    headers = ["benchmark"] + [f"{m} %" for m in mechanisms]
+    return ("Figure: return-address-stack hit rates by repair mechanism",
+            headers, rows)
+
+
+# ----------------------------------------------------------------------
+# F2: speedups.
+
+def fig_speedup(
+    names: Sequence[str] = BENCHMARK_NAMES,
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """F2: IPC speedup of repair over no-repair and over BTB-only.
+
+    The paper reports up to ~8.7% over no repair and up to ~15% over
+    BTB-only prediction for the pointer+contents mechanism.
+    """
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        btb_only, _ = run_cycle(program, baseline_config().without_ras())
+        none, _ = run_cycle(
+            program, baseline_config().with_repair(RepairMechanism.NONE))
+        repaired, _ = run_cycle(
+            program,
+            baseline_config().with_repair(
+                RepairMechanism.TOS_POINTER_AND_CONTENTS),
+        )
+        rows.append([
+            spec.name,
+            round(btb_only.ipc, 3),
+            round(none.ipc, 3),
+            round(repaired.ipc, 3),
+            round(100.0 * (repaired.ipc / none.ipc - 1.0), 2),
+            round(100.0 * (repaired.ipc / btb_only.ipc - 1.0), 2),
+        ])
+    headers = ["benchmark", "btb-only ipc", "no-repair ipc", "repaired ipc",
+               "speedup vs none %", "speedup vs btb-only %"]
+    return ("Figure: speedup from pointer+contents repair", headers, rows)
+
+
+# ----------------------------------------------------------------------
+# F3: stack-depth sensitivity (fast model for breadth).
+
+def fig_stack_depth(
+    names: Sequence[str] = ("li", "vortex", "gcc"),
+    sizes: Sequence[int] = (1, 2, 4, 8, 12, 16, 32, 64),
+    mechanism: RepairMechanism = RepairMechanism.TOS_POINTER_AND_CONTENTS,
+    seed: int = 1,
+    scale: float = 0.5,
+) -> TableData:
+    """F3: return hit rate vs stack depth.
+
+    Small stacks overflow under deep call chains and recursion; the
+    curves flatten once the stack covers the common call depth. Uses
+    the fast model so that eight sizes x several workloads stay cheap.
+    """
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        row: List[object] = [spec.name]
+        for size in sizes:
+            config = (baseline_config()
+                      .with_repair(mechanism)
+                      .with_ras_entries(size))
+            result = run_fast(program, config)
+            row.append(_pct(result.return_accuracy))
+        rows.append(row)
+    headers = ["benchmark"] + [f"{size}-entry %" for size in sizes]
+    return (f"Figure: hit rate vs stack depth ({mechanism})", headers, rows)
+
+
+# ----------------------------------------------------------------------
+# F4: multipath stack organisations.
+
+def fig_multipath(
+    names: Sequence[str] = ("li", "vortex", "compress", "go"),
+    path_counts: Sequence[int] = (2, 4),
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """F4: relative IPC of stack organisations under multipath.
+
+    As in the paper's figure, each path count is normalised to its own
+    unified-stack case; per-path stacks should win by a wide margin on
+    call-dense workloads and full checkpointing should not help.
+    """
+    organizations = list(StackOrganization)
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        for paths in path_counts:
+            ipcs = {}
+            accs = {}
+            for organization in organizations:
+                config = multipath_machine(paths, organization)
+                result, _ = run_multipath(program, config)
+                ipcs[organization] = result.ipc
+                accs[organization] = result.return_accuracy
+            unified = ipcs[StackOrganization.UNIFIED] or 1e-9
+            row: List[object] = [spec.name, paths]
+            for organization in organizations:
+                row.append(round(ipcs[organization] / unified, 4))
+            for organization in organizations:
+                row.append(_pct(accs[organization]))
+            rows.append(row)
+    headers = (["benchmark", "paths"]
+               + [f"{o} rel-ipc" for o in organizations]
+               + [f"{o} ret %" for o in organizations])
+    return ("Figure: multipath stack organisations (normalised to unified)",
+            headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Ablations.
+
+def ablation_mechanisms(
+    names: Sequence[str] = ("li", "vortex", "go"),
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """A1: all six mechanisms, including the related-work variants."""
+    mechanisms = list(RepairMechanism)
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        row: List[object] = [spec.name]
+        for mechanism in mechanisms:
+            config = baseline_config().with_repair(mechanism)
+            result, _ = run_cycle(program, config)
+            row.append(_pct(result.return_accuracy))
+        rows.append(row)
+    headers = ["benchmark"] + [f"{m} %" for m in mechanisms]
+    return ("Ablation: every repair mechanism (incl. valid bits and "
+            "self-checkpointing)", headers, rows)
+
+
+def ablation_shadow_slots(
+    names: Sequence[str] = ("li", "go"),
+    slot_counts: Sequence[Optional[int]] = (1, 2, 4, 8, 20, None),
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """A2: limited shadow-checkpoint slots (R10000=4, 21264~20)."""
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        row: List[object] = [spec.name]
+        for slots in slot_counts:
+            base = baseline_config()
+            config = dataclasses.replace(
+                base,
+                predictor=dataclasses.replace(
+                    base.predictor, shadow_checkpoint_slots=slots),
+            )
+            result, _ = run_cycle(program, config)
+            row.append(_pct(result.return_accuracy))
+        rows.append(row)
+    headers = ["benchmark"] + [
+        ("unlimited %" if slots is None else f"{slots} slots %")
+        for slots in slot_counts
+    ]
+    return ("Ablation: shadow-checkpoint slots", headers, rows)
+
+
+def ablation_btb_capacity(
+    names: Sequence[str] = ("li", "vortex", "gcc"),
+    set_counts: Sequence[int] = (16, 64, 256, 512),
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """A10: BTB capacity and BTB-only return prediction.
+
+    Table 4's "a little over half" is not a capacity problem: even a
+    large BTB stores one target per return site, and returns with
+    multiple callers keep missing. Small BTBs add conflict misses on
+    top. The gap to a RAS persists at every size.
+    """
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        row: List[object] = [spec.name]
+        for sets in set_counts:
+            base = baseline_config().without_ras()
+            config = dataclasses.replace(
+                base,
+                predictor=dataclasses.replace(base.predictor, btb_sets=sets),
+            )
+            result, _ = run_cycle(program, config)
+            row.append(_pct(result.return_accuracy))
+        with_ras, _ = run_cycle(program, baseline_config())
+        row.append(_pct(with_ras.return_accuracy))
+        rows.append(row)
+    headers = (["benchmark"]
+               + [f"btb {sets}x4 %" for sets in set_counts]
+               + ["32-entry RAS %"])
+    return ("Ablation: BTB capacity vs BTB-only return prediction",
+            headers, rows)
+
+
+def ablation_contents_depth(
+    names: Sequence[str] = ("li", "go", "vortex"),
+    depths: Sequence[int] = (1, 2, 4, 8, 32),
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """A8: checkpointing the top-k entries instead of just the top.
+
+    The paper: "One can, of course, save an arbitrary number of
+    return-address-stack entries this way; the extreme would be to
+    checkpoint the entire return-address stack." k=1 is the paper's
+    proposal; k=32 equals full-stack checkpointing on a 32-entry stack.
+    """
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        row: List[object] = [spec.name]
+        for depth in depths:
+            config = baseline_config().with_contents_depth(depth)
+            result, _ = run_cycle(program, config)
+            row.append(_pct(result.return_accuracy))
+        full, _ = run_cycle(
+            program, baseline_config().with_repair(RepairMechanism.FULL_STACK))
+        row.append(_pct(full.return_accuracy))
+        rows.append(row)
+    headers = (["benchmark"] + [f"top-{d} %" for d in depths]
+               + ["full-stack %"])
+    return ("Ablation: checkpointed-contents depth", headers, rows)
+
+
+def ablation_direction_predictors(
+    names: Sequence[str] = ("go", "li"),
+    kinds: Sequence[str] = ("bimodal", "gshare", "hybrid"),
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """A7: repair payoff vs direction-predictor quality.
+
+    A weaker direction predictor mispredicts more, sends more wrong
+    paths through the RAS, and therefore makes repair worth more — the
+    paper's corruption story, modulated through misprediction rate.
+    Rows report cond-branch accuracy, then return accuracy with no
+    repair and with the paper's mechanism, per predictor kind.
+    """
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        for kind in kinds:
+            base = baseline_config()
+            row: List[object] = [spec.name, kind]
+            accuracies = {}
+            for mechanism in (RepairMechanism.NONE,
+                              RepairMechanism.TOS_POINTER_AND_CONTENTS):
+                config = dataclasses.replace(
+                    base.with_repair(mechanism),
+                    predictor=dataclasses.replace(
+                        base.with_repair(mechanism).predictor,
+                        direction_kind=kind),
+                )
+                result, _ = run_cycle(program, config)
+                accuracies[mechanism] = result
+            reference = accuracies[RepairMechanism.TOS_POINTER_AND_CONTENTS]
+            none = accuracies[RepairMechanism.NONE]
+            row.append(_pct(reference.cond_accuracy))
+            row.append(_pct(none.return_accuracy))
+            row.append(_pct(reference.return_accuracy))
+            row.append(round(100.0 * (reference.ipc / none.ipc - 1.0), 2))
+            rows.append(row)
+    headers = ["benchmark", "direction", "cond acc %",
+               "ret acc (none) %", "ret acc (repaired) %",
+               "repair speedup %"]
+    return ("Ablation: repair payoff vs direction-predictor quality",
+            headers, rows)
+
+
+def ablation_fastsim_crosscheck(
+    names: Sequence[str] = ("li", "go"),
+    seed: int = 1,
+    scale: float = 0.25,
+) -> TableData:
+    """A3: fast front-end model vs cycle model, hit-rate trends."""
+    mechanisms = list(PRIMARY_MECHANISMS)
+    rows = []
+    for spec in _specs(names, seed, scale):
+        program = build_program(spec)
+        for mechanism in mechanisms:
+            config = baseline_config().with_repair(mechanism)
+            cycle_result, _ = run_cycle(program, config)
+            fast_result = run_fast(program, config)
+            rows.append([
+                spec.name,
+                str(mechanism),
+                _pct(cycle_result.return_accuracy),
+                _pct(fast_result.return_accuracy),
+            ])
+    headers = ["benchmark", "mechanism", "cycle ret %", "fast ret %"]
+    return ("Ablation: cycle-model vs fast-model hit rates", headers, rows)

@@ -1,0 +1,164 @@
+"""The reference (golden-model) emulator.
+
+Runs a program to completion with no timing model. Used to characterise
+workloads (instruction mix, call depth — the paper's Table 2 analogue)
+and as the ground truth the pipelines are checked against: a correct
+pipeline commits exactly the instruction stream this emulator produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.emu.exec_core import execute
+from repro.emu.machine_state import MachineState
+from repro.errors import EmulationError
+from repro.isa.opcodes import ControlClass
+from repro.isa.program import Program
+from repro.stats import Histogram
+
+
+class CommitRecord:
+    """One architecturally executed instruction (for stream comparison)."""
+
+    __slots__ = ("pc", "next_pc", "taken")
+
+    def __init__(self, pc: int, next_pc: int, taken: bool) -> None:
+        self.pc = pc
+        self.next_pc = next_pc
+        self.taken = taken
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CommitRecord)
+            and self.pc == other.pc
+            and self.next_pc == other.next_pc
+            and self.taken == other.taken
+        )
+
+    def __repr__(self) -> str:
+        return f"CommitRecord(pc={self.pc}, next_pc={self.next_pc}, taken={self.taken})"
+
+
+class EmulationStats:
+    """Dynamic-behaviour summary of one emulated run."""
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.cond_branches = 0
+        self.taken_cond_branches = 0
+        self.calls = 0
+        self.returns = 0
+        self.indirect_jumps = 0
+        self.direct_jumps = 0
+        self.loads = 0
+        self.stores = 0
+        self.halted = False
+        self.call_depth = Histogram("call_depth", "call depth at each call")
+        self.opcode_counts: Dict[str, int] = {}
+
+    @property
+    def control_transfers(self) -> int:
+        return (
+            self.cond_branches
+            + self.calls
+            + self.returns
+            + self.indirect_jumps
+            + self.direct_jumps
+        )
+
+    def fraction_of(self, count: int) -> Optional[float]:
+        if self.instructions == 0:
+            return None
+        return count / self.instructions
+
+    def __repr__(self) -> str:
+        return (
+            f"EmulationStats(n={self.instructions}, calls={self.calls}, "
+            f"returns={self.returns}, cond={self.cond_branches})"
+        )
+
+
+class Emulator:
+    """Run programs functionally, with an instruction watchdog."""
+
+    def __init__(self, program: Program, max_instructions: int = 50_000_000) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.state = MachineState(
+            pc=program.entry, initial_memory=program.data
+        )
+
+    def trace(self) -> Iterator[CommitRecord]:
+        """Yield one :class:`CommitRecord` per executed instruction.
+
+        Terminates when HALT executes; raises :class:`EmulationError` if
+        the watchdog limit is exceeded (runaway program) or control
+        leaves the text segment.
+        """
+        state = self.state
+        program = self.program
+        executed = 0
+        while not state.halted:
+            if executed >= self.max_instructions:
+                raise EmulationError(
+                    f"watchdog: {self.max_instructions} instructions without HALT"
+                )
+            pc = state.pc
+            inst = program.fetch(pc)
+            outcome = execute(inst, pc, state)
+            executed += 1
+            if outcome.is_halt:
+                state.halted = True
+                yield CommitRecord(pc, pc, False)
+                return
+            state.pc = outcome.next_pc
+            yield CommitRecord(pc, outcome.next_pc, outcome.taken)
+
+    def run(self, collect_mix: bool = True) -> EmulationStats:
+        """Run to completion and return dynamic statistics."""
+        stats = EmulationStats()
+        state = self.state
+        program = self.program
+        depth = 0
+        executed = 0
+        while not state.halted:
+            if executed >= self.max_instructions:
+                raise EmulationError(
+                    f"watchdog: {self.max_instructions} instructions without HALT"
+                )
+            pc = state.pc
+            inst = program.fetch(pc)
+            outcome = execute(inst, pc, state)
+            executed += 1
+            stats.instructions += 1
+            control = inst.control
+            if control is ControlClass.COND_BRANCH:
+                stats.cond_branches += 1
+                if outcome.taken:
+                    stats.taken_cond_branches += 1
+            elif control.is_call:
+                stats.calls += 1
+                depth += 1
+                stats.call_depth.record(depth)
+            elif control is ControlClass.RETURN:
+                stats.returns += 1
+                depth = max(0, depth - 1)
+            elif control is ControlClass.JUMP_INDIRECT:
+                stats.indirect_jumps += 1
+            elif control is ControlClass.JUMP_DIRECT:
+                stats.direct_jumps += 1
+            if outcome.mem_address is not None:
+                if inst.opcode.value == "load":
+                    stats.loads += 1
+                else:
+                    stats.stores += 1
+            if collect_mix:
+                name = inst.opcode.value
+                stats.opcode_counts[name] = stats.opcode_counts.get(name, 0) + 1
+            if outcome.is_halt:
+                state.halted = True
+                break
+            state.pc = outcome.next_pc
+        stats.halted = state.halted
+        return stats

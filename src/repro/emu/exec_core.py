@@ -1,0 +1,160 @@
+"""Single-instruction execution semantics.
+
+:func:`execute` is the one place in the repository that defines what an
+instruction *does*. Every simulator — the reference emulator, the
+single-path pipeline and the multipath pipeline — calls it, so functional
+behaviour cannot drift between models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.emu.machine_state import MASK64, MachineState, UndoEntry, to_signed
+from repro.errors import EmulationError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, REG_RA, WORD_SIZE
+
+
+class ExecOutcome:
+    """The architectural effect of one executed instruction.
+
+    Attributes:
+        next_pc: address of the next instruction in program order.
+        taken: for conditional branches, whether the branch was taken;
+            True for unconditional transfers, False otherwise.
+        mem_address: effective address of a load/store, else None.
+        is_halt: True when the instruction stops the program.
+    """
+
+    __slots__ = ("next_pc", "taken", "mem_address", "is_halt")
+
+    def __init__(
+        self,
+        next_pc: int,
+        taken: bool = False,
+        mem_address: Optional[int] = None,
+        is_halt: bool = False,
+    ) -> None:
+        self.next_pc = next_pc
+        self.taken = taken
+        self.mem_address = mem_address
+        self.is_halt = is_halt
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecOutcome(next_pc={self.next_pc}, taken={self.taken}, "
+            f"mem={self.mem_address}, halt={self.is_halt})"
+        )
+
+
+def execute(
+    inst: Instruction,
+    pc: int,
+    state: MachineState,
+    log: Optional[List[UndoEntry]] = None,
+) -> ExecOutcome:
+    """Execute ``inst`` (located at ``pc``) against ``state``.
+
+    Register and memory writes optionally record undo entries into
+    ``log`` so speculative execution can be rolled back. The caller owns
+    ``state.pc``; this function only *returns* the next PC.
+    """
+    op = inst.opcode
+    regs = state.regs
+    fallthrough = pc + WORD_SIZE
+
+    # --- ALU register-immediate (most frequent) ----------------------
+    if op is Opcode.ADDI:
+        state.write_reg(inst.rd, regs[inst.rs] + inst.imm, log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.LI:
+        state.write_reg(inst.rd, inst.imm, log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.ANDI:
+        state.write_reg(inst.rd, regs[inst.rs] & (inst.imm & MASK64), log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.XORI:
+        state.write_reg(inst.rd, regs[inst.rs] ^ (inst.imm & MASK64), log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.SLLI:
+        state.write_reg(inst.rd, regs[inst.rs] << (inst.imm & 63), log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.SRLI:
+        state.write_reg(inst.rd, regs[inst.rs] >> (inst.imm & 63), log)
+        return ExecOutcome(fallthrough)
+
+    # --- ALU register-register ---------------------------------------
+    if op is Opcode.ADD:
+        state.write_reg(inst.rd, regs[inst.rs] + regs[inst.rt], log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.SUB:
+        state.write_reg(inst.rd, regs[inst.rs] - regs[inst.rt], log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.AND:
+        state.write_reg(inst.rd, regs[inst.rs] & regs[inst.rt], log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.OR:
+        state.write_reg(inst.rd, regs[inst.rs] | regs[inst.rt], log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.XOR:
+        state.write_reg(inst.rd, regs[inst.rs] ^ regs[inst.rt], log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.SLL:
+        state.write_reg(inst.rd, regs[inst.rs] << (regs[inst.rt] & 63), log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.SRL:
+        state.write_reg(inst.rd, regs[inst.rs] >> (regs[inst.rt] & 63), log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.SLT:
+        result = 1 if to_signed(regs[inst.rs]) < to_signed(regs[inst.rt]) else 0
+        state.write_reg(inst.rd, result, log)
+        return ExecOutcome(fallthrough)
+    if op is Opcode.MUL:
+        state.write_reg(inst.rd, regs[inst.rs] * regs[inst.rt], log)
+        return ExecOutcome(fallthrough)
+
+    # --- Memory -------------------------------------------------------
+    if op is Opcode.LOAD:
+        address = (regs[inst.rs] + inst.imm) & MASK64
+        state.write_reg(inst.rd, state.read_mem(address), log)
+        return ExecOutcome(fallthrough, mem_address=address)
+    if op is Opcode.STORE:
+        address = (regs[inst.rs] + inst.imm) & MASK64
+        state.write_mem(address, regs[inst.rt], log)
+        return ExecOutcome(fallthrough, mem_address=address)
+
+    # --- Control flow --------------------------------------------------
+    if op is Opcode.BEQZ:
+        taken = regs[inst.rs] == 0
+        return ExecOutcome(inst.target if taken else fallthrough, taken=taken)
+    if op is Opcode.BNEZ:
+        taken = regs[inst.rs] != 0
+        return ExecOutcome(inst.target if taken else fallthrough, taken=taken)
+    if op is Opcode.BLTZ:
+        taken = to_signed(regs[inst.rs]) < 0
+        return ExecOutcome(inst.target if taken else fallthrough, taken=taken)
+    if op is Opcode.BGEZ:
+        taken = to_signed(regs[inst.rs]) >= 0
+        return ExecOutcome(inst.target if taken else fallthrough, taken=taken)
+    if op is Opcode.J:
+        return ExecOutcome(inst.target, taken=True)
+    if op is Opcode.JAL:
+        state.write_reg(REG_RA, fallthrough, log)
+        return ExecOutcome(inst.target, taken=True)
+    if op is Opcode.JR:
+        return ExecOutcome(regs[inst.rs], taken=True)
+    if op is Opcode.JALR:
+        target = regs[inst.rs]
+        state.write_reg(REG_RA, fallthrough, log)
+        return ExecOutcome(target, taken=True)
+    if op is Opcode.RET:
+        return ExecOutcome(regs[REG_RA], taken=True)
+
+    # --- Misc -----------------------------------------------------------
+    if op is Opcode.NOP:
+        return ExecOutcome(fallthrough)
+    if op is Opcode.HALT:
+        return ExecOutcome(fallthrough, is_halt=True)
+
+    raise EmulationError(f"unimplemented opcode {op}")  # pragma: no cover

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries while still being able
+to distinguish configuration mistakes from simulation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A machine or experiment configuration is invalid."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad label, bad operand, ...)."""
+
+
+class EmulationError(ReproError):
+    """The functional emulator hit an illegal state.
+
+    Examples: a jump outside the text segment, executing past the end of
+    the program, or exceeding the watchdog instruction limit.
+    """
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator violated one of its own invariants."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or generated program is malformed."""

@@ -1,0 +1,182 @@
+"""The fast front-end simulator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bpred.predictor import FrontEndPredictor
+from repro.config.machine import BranchPredictorConfig
+from repro.emu.exec_core import execute
+from repro.emu.machine_state import MachineState
+from repro.errors import EmulationError
+from repro.isa.opcodes import ControlClass, WORD_SIZE
+from repro.isa.program import Program
+from repro.stats import StatGroup
+
+
+class FastSimResult:
+    """Prediction-quality summary plus a first-order cycle estimate."""
+
+    def __init__(self, group: StatGroup, base_cpi: float, penalty: float) -> None:
+        self.group = group
+        self.base_cpi = base_cpi
+        self.penalty = penalty
+
+    @property
+    def instructions(self) -> int:
+        return self.group["instructions"].value  # type: ignore[attr-defined]
+
+    @property
+    def mispredictions(self) -> int:
+        return self.group["mispredictions"].value  # type: ignore[attr-defined]
+
+    @property
+    def return_accuracy(self) -> Optional[float]:
+        return self.group["return_accuracy"].value  # type: ignore[attr-defined]
+
+    @property
+    def cond_accuracy(self) -> Optional[float]:
+        return self.group["cond_accuracy"].value  # type: ignore[attr-defined]
+
+    @property
+    def estimated_cycles(self) -> float:
+        """Additive penalty model: base CPI plus a fixed charge per
+        misprediction. Crude by design — shapes, not absolutes."""
+        return self.instructions * self.base_cpi + self.mispredictions * self.penalty
+
+    @property
+    def estimated_ipc(self) -> float:
+        cycles = self.estimated_cycles
+        return self.instructions / cycles if cycles else 0.0
+
+    def counter(self, name: str) -> int:
+        if name in self.group:
+            return self.group[name].value  # type: ignore[attr-defined]
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FastSimResult(n={self.instructions}, "
+            f"mispred={self.mispredictions}, est_ipc={self.estimated_ipc:.3f})"
+        )
+
+
+class FastFrontEndSim:
+    """Correct-path emulation + bounded wrong-path replay.
+
+    Args:
+        program: the workload.
+        predictor_config: front-end configuration (Table 1 subset).
+        wrong_path_instructions: how many instructions the wrong path
+            fetches before the misprediction resolves. Approximates
+            (resolution latency x fetch width) of the cycle model.
+        branch_penalty: cycles charged per misprediction in the
+            estimate.
+        base_cpi: cycles per instruction when prediction is perfect.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        predictor_config: Optional[BranchPredictorConfig] = None,
+        wrong_path_instructions: int = 16,
+        branch_penalty: float = 8.0,
+        base_cpi: float = 0.75,
+        max_instructions: int = 50_000_000,
+    ) -> None:
+        if wrong_path_instructions < 0:
+            raise ValueError("wrong_path_instructions must be >= 0")
+        self.program = program
+        self.frontend = FrontEndPredictor(
+            predictor_config or BranchPredictorConfig())
+        self.wrong_path_instructions = wrong_path_instructions
+        self.branch_penalty = branch_penalty
+        self.base_cpi = base_cpi
+        self.max_instructions = max_instructions
+
+        #: Architectural state after :meth:`run` (None before).
+        self.final_state: Optional[MachineState] = None
+        self.stats = StatGroup("fastsim")
+        self._instructions = self.stats.counter("instructions")
+        self._mispredictions = self.stats.counter("mispredictions")
+        self._wrong_path_fetched = self.stats.counter("wrong_path_fetched")
+        self._wrong_path_calls = self.stats.counter(
+            "wrong_path_calls", "RAS pushes performed on wrong paths")
+        self._wrong_path_returns = self.stats.counter(
+            "wrong_path_returns", "RAS pops performed on wrong paths")
+
+    def _walk_wrong_path(self, start_pc: int) -> None:
+        """Fetch down the predicted-but-wrong path, corrupting the RAS.
+
+        Control flow follows *predictions* (this is a pure front-end
+        walk — no functional execution, exactly what a fetch engine does
+        before the offending branch resolves).
+        """
+        program = self.program
+        frontend = self.frontend
+        pc = start_pc
+        pending = []
+        for _ in range(self.wrong_path_instructions):
+            if not program.in_text(pc):
+                break
+            inst = program.fetch(pc)
+            self._wrong_path_fetched.increment()
+            if inst.opcode.value == "halt":
+                break
+            if inst.is_control:
+                prediction = frontend.predict(pc, inst)
+                pending.append(prediction)
+                if inst.control.is_call:
+                    self._wrong_path_calls.increment()
+                elif inst.control is ControlClass.RETURN:
+                    self._wrong_path_returns.increment()
+                pc = prediction.target
+            else:
+                pc += WORD_SIZE
+        # The walk's own shadow slots die with the squash.
+        for prediction in pending:
+            frontend.release(prediction)
+
+    def run(self) -> FastSimResult:
+        """Run the program to completion (or the instruction cap)."""
+        program = self.program
+        frontend = self.frontend
+        state = MachineState(pc=program.entry, initial_memory=program.data)
+        pc = program.entry
+        executed = 0
+        while True:
+            if executed >= self.max_instructions:
+                raise EmulationError(
+                    f"fastsim watchdog: {self.max_instructions} instructions")
+            inst = program.fetch(pc)
+            prediction = None
+            if inst.is_control:
+                prediction = frontend.predict(pc, inst)
+            outcome = execute(inst, pc, state)
+            executed += 1
+            self._instructions.increment()
+            if outcome.is_halt:
+                break
+            if prediction is not None:
+                if prediction.target != outcome.next_pc:
+                    self._mispredictions.increment()
+                    self._walk_wrong_path(prediction.target)
+                    frontend.repair(prediction)
+                # Resolution == commit in this model: train immediately.
+                frontend.train_commit(
+                    pc, inst, outcome.taken, outcome.next_pc, prediction)
+                frontend.release(prediction)
+            pc = outcome.next_pc
+        self.final_state = state
+        return self._finalize()
+
+    def _finalize(self) -> FastSimResult:
+        group = self.stats
+        for name in ("return_accuracy", "cond_accuracy", "indirect_accuracy"):
+            source = self.frontend.stats[name]
+            group.rate(name).record_many(source.hits, source.events)
+        ras = self.frontend.ras
+        if ras is not None:
+            group.counter("ras_overflows").increment(ras.stats["overflows"].value)
+            group.counter("ras_underflows").increment(ras.stats["underflows"].value)
+        return FastSimResult(group, self.base_cpi, self.branch_penalty)

@@ -1,0 +1,34 @@
+"""A compact virtual instruction set for execution-driven simulation.
+
+The ISA is a mini-MIPS: 32 integer registers (r0 hard-wired to zero,
+r29 the stack pointer, r31 the link register), word-granular memory, and
+a control-flow repertoire that distinguishes every class the branch
+predictor cares about — conditional branches, direct jumps, direct and
+indirect calls, indirect jumps, and returns.
+"""
+
+from repro.isa.opcodes import (
+    ControlClass,
+    Opcode,
+    NUM_REGS,
+    REG_ZERO,
+    REG_SP,
+    REG_RA,
+    WORD_SIZE,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.isa.assembler import ProgramBuilder
+
+__all__ = [
+    "ControlClass",
+    "Instruction",
+    "NUM_REGS",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "WORD_SIZE",
+]

@@ -1,0 +1,650 @@
+"""The multipath CPU model.
+
+Differences from :class:`~repro.pipeline.SinglePathCPU`:
+
+* **Path contexts.** Fetch and dispatch bandwidth are shared round-robin
+  over alive paths; each path owns its register file, IFQ, and (under
+  the per-path organisation) its return-address stack.
+* **Forking.** A low-confidence conditional branch with a free context
+  forks: the fetching path continues down the predicted side while a
+  child explores the other side. The child fetches immediately (its
+  fetch needs no register state — and its RAS copy is made at the fork)
+  but dispatches only once the branch itself has dispatched, which is
+  when the register snapshot exists.
+* **Store buffering.** Stores write memory at *commit*, never at
+  dispatch, so the one shared memory image is always architectural.
+  Loads read architectural memory plus forwarding from program-order-
+  older in-flight stores on their own ancestry. This is what lets many
+  functional paths coexist without copy-on-write memory images.
+* **Selective squash.** A resolved fork invalidates the losing side's
+  RUU entries in place; they drain to the head and retire as bubbles,
+  consuming commit bandwidth — the paper's footnote 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.bpred.confidence import JrsConfidenceEstimator
+from repro.bpred.predictor import FrontEndPredictor, Prediction
+from repro.caches.hierarchy import MemoryHierarchy
+from repro.config.machine import MachineConfig
+from repro.emu.exec_core import execute
+from repro.errors import SimulationError
+from repro.isa.opcodes import ControlClass, Opcode, WORD_SIZE
+from repro.isa.program import Program
+from repro.multipath.path import PathContext
+from repro.multipath.stacks import StackOrganizer
+from repro.pipeline.inflight import InflightInstruction, exec_latency, source_regs
+from repro.pipeline.results import SimResult
+from repro.stats import StatGroup
+
+_DEADLOCK_LIMIT = 20_000
+
+
+class _PathState:
+    """Adapter giving :func:`repro.emu.execute` a per-path view.
+
+    Registers come from the path's private file; memory reads see the
+    architectural image plus in-flight store forwarding; memory writes
+    are captured for commit-time application instead of performed.
+    """
+
+    __slots__ = ("regs", "_cpu", "_path", "captured_store")
+
+    def __init__(self, cpu: "MultipathCPU") -> None:
+        self.regs: List[int] = []
+        self._cpu = cpu
+        self._path: Optional[PathContext] = None
+        self.captured_store: Optional[int] = None
+
+    def bind(self, path: PathContext) -> "_PathState":
+        self._path = path
+        self.regs = path.regs
+        self.captured_store = None
+        return self
+
+    def write_reg(self, index: int, value: int, log=None) -> None:
+        if index == 0:
+            return
+        if log is not None:
+            log.append(("r", index, self.regs[index]))
+        self.regs[index] = value & ((1 << 64) - 1)
+
+    def read_mem(self, address: int) -> int:
+        return self._cpu._load_value(self._path, address)
+
+    def write_mem(self, address: int, value: int, log=None) -> None:
+        # Buffered until commit; recovery just drops the entry.
+        self.captured_store = value & ((1 << 64) - 1)
+
+
+class _FetchedInstruction:
+    __slots__ = ("pc", "inst", "prediction", "ready_cycle", "forked_child")
+
+    def __init__(self, pc, inst, prediction, ready_cycle) -> None:
+        self.pc = pc
+        self.inst = inst
+        self.prediction = prediction
+        self.ready_cycle = ready_cycle
+        self.forked_child: Optional[PathContext] = None
+
+
+class MultipathCPU:
+    """Cycle-level multipath simulation (2-path, 4-path, ...)."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[MachineConfig] = None,
+        max_instructions: Optional[int] = None,
+        max_cycles: Optional[int] = None,
+        commit_hook: Optional[Callable[[InflightInstruction], None]] = None,
+    ) -> None:
+        self.program = program
+        self.config = config or MachineConfig()
+        self.max_instructions = max_instructions
+        self.max_cycles = max_cycles
+        self.commit_hook = commit_hook
+
+        predictor_config = self.config.predictor
+        import dataclasses
+        # The facade must not own a stack of its own: stacks are handed
+        # out by the organizer (shared or per path) and passed per call.
+        facade_config = dataclasses.replace(predictor_config, ras_enabled=False)
+        self.frontend = FrontEndPredictor(facade_config)
+        self.organizer = StackOrganizer(
+            self.config.multipath.stack_organization, predictor_config)
+        self.confidence = JrsConfidenceEstimator(
+            self.config.multipath.confidence_entries,
+            self.config.multipath.confidence_threshold,
+            self.config.multipath.confidence_max,
+        )
+        self.memory = MemoryHierarchy(self.config.memory)
+
+        #: Architectural memory: committed stores only.
+        self._arch_memory: Dict[int, int] = dict(program.data)
+        root = PathContext(
+            0, program.entry, [0] * 32, parent=None,
+            ras=self.organizer.root_stack(),
+        )
+        self._paths: List[PathContext] = [root]
+        self._next_path_id = 1
+        self._ruu: Deque[InflightInstruction] = deque()
+        self._lsq_count = 0
+        self._seq = 0
+        self.cycle = 0
+        self.done = False
+        self.final_regs: Optional[List[int]] = None
+        self._exec_state = _PathState(self)
+        self._rr_offset = 0
+        self._fetch_line_shift = (
+            self.config.memory.l1i.line_bytes.bit_length() - 1)
+
+        self.stats = StatGroup("multipath_cpu")
+        self._cycles_stat = self.stats.counter("cycles")
+        self._committed = self.stats.counter("committed")
+        self._fetched = self.stats.counter("fetched")
+        self._dispatched = self.stats.counter("dispatched")
+        self._squashed = self.stats.counter("squashed")
+        self._bubbles = self.stats.counter("bubbles_retired")
+        self._forks = self.stats.counter("forks")
+        self._fork_saved = self.stats.counter(
+            "fork_saved_mispredictions",
+            "mispredictions whose other side was already executing")
+        self._mispredictions = self.stats.counter("mispredictions")
+        self._mispred_return = self.stats.counter("mispredictions_return")
+
+    # ------------------------------------------------------------------
+    # Helpers.
+
+    def _alive_paths(self) -> List[PathContext]:
+        return [p for p in self._paths if p.alive]
+
+    def _load_value(self, path: PathContext, address: int) -> int:
+        """Architectural memory + in-flight store forwarding for ``path``."""
+        for entry in reversed(self._ruu):
+            if (entry.is_store and not entry.squashed
+                    and entry.mem_address == address
+                    and path.can_see(entry.path, entry.seq)):
+                return entry.store_value  # type: ignore[return-value]
+        return self._arch_memory.get(address & ((1 << 64) - 1), 0)
+
+    def _release_ifq(self, path: PathContext) -> None:
+        """Drop a path's IFQ, releasing slots and pending fork children."""
+        for fetched in path.ifq:
+            if fetched.prediction is not None:
+                self.frontend.release(fetched.prediction)
+            if fetched.forked_child is not None:
+                self._kill_subtree(fetched.forked_child)
+        path.ifq.clear()
+
+    def _kill_subtree(self, root: PathContext) -> None:
+        """Mark ``root`` and every descendant dead; bubble their entries."""
+        victims = [p for p in self._paths if p.is_descendant_of(root)]
+        for victim in victims:
+            if victim.dead:
+                continue
+            victim.alive = False
+            victim.lost = True
+            victim.dead = True
+            self._release_ifq(victim)
+        victim_set = set(id(v) for v in victims)
+        for entry in self._ruu:
+            if not entry.squashed and id(entry.path) in victim_set:
+                self._squash_entry(entry, rewind=False)
+
+    def _squash_entry(self, entry: InflightInstruction, rewind: bool) -> None:
+        if rewind and entry.undo:
+            # Applies to the owning path's private register file.
+            for record in reversed(entry.undo):
+                entry.path.regs[record[1]] = record[2]
+        entry.undo.clear()
+        entry.squashed = True
+        if entry.prediction is not None:
+            self.frontend.release(entry.prediction)
+            entry.prediction = None
+        if entry.fork_child is not None:
+            self._kill_subtree(entry.fork_child)
+            entry.fork_child = None
+        self._squashed.increment()
+
+    def _squash_after(self, path: PathContext, seq: int) -> None:
+        """Squash ``path``'s entries younger than ``seq`` and every path
+        forked from that region (but nothing forked earlier)."""
+        self._release_ifq(path)
+        for entry in reversed(self._ruu):  # youngest first: ordered rewind
+            if entry.squashed or entry.seq <= seq:
+                continue
+            if entry.path is path:
+                self._squash_entry(entry, rewind=True)
+            # Descendants are handled through fork_child kills above.
+        # Kill descendants forked from the squashed region (zombies
+        # included: their continuation subtrees hang below them).
+        for other in self._paths:
+            if (other is not path and not other.dead
+                    and other.is_descendant_of(path)
+                    and other.origin_seq > seq):
+                self._kill_subtree(other)
+        self._rebuild_writer_map(path)
+
+    def _rebuild_writer_map(self, path: PathContext) -> None:
+        """Recompute reg -> youngest visible in-flight producer."""
+        writers: Dict[int, InflightInstruction] = {}
+        for entry in self._ruu:
+            if (entry.squashed or entry.dest is None or entry.completed):
+                continue
+            if path.can_see(entry.path, entry.seq) or entry.path is path:
+                writers[entry.dest] = entry
+        path.last_writer = writers
+
+    # ------------------------------------------------------------------
+    # Stages.
+
+    def _commit(self) -> None:
+        budget = self.config.core.commit_width
+        ruu = self._ruu
+        while budget and ruu:
+            entry = ruu[0]
+            if entry.squashed:
+                ruu.popleft()
+                if entry.is_load or entry.is_store:
+                    self._lsq_count -= 1
+                self._bubbles.increment()
+                budget -= 1
+                continue
+            if not entry.completed:
+                return
+            ruu.popleft()
+            if entry.is_load or entry.is_store:
+                self._lsq_count -= 1
+            if entry.is_store:
+                self._arch_memory[entry.mem_address] = entry.store_value
+            inst = entry.inst
+            if inst.is_control:
+                self.frontend.train_commit(
+                    entry.pc, inst, entry.actual_taken,
+                    entry.actual_next_pc, entry.prediction)
+                if inst.control is ControlClass.COND_BRANCH:
+                    self.confidence.update(entry.pc, not entry.mispredicted)
+            path = entry.path
+            if path.last_writer.get(entry.dest) is entry:
+                del path.last_writer[entry.dest]
+            self._committed.increment()
+            if self.commit_hook is not None:
+                self.commit_hook(entry)
+            if entry.outcome.is_halt:
+                self.done = True
+                self.final_regs = list(entry.path.regs)
+                return
+            budget -= 1
+
+    def _writeback(self) -> None:
+        cycle = self.cycle
+        resolvable = [
+            entry for entry in self._ruu
+            if entry.issued and not entry.completed
+            and entry.complete_cycle <= cycle
+        ]
+        for entry in resolvable:
+            if entry.squashed:
+                entry.completed = True
+                continue
+            entry.completed = True
+            prediction = entry.prediction
+            if prediction is None:
+                continue
+            if entry.fork_child is not None:
+                self._resolve_fork(entry)
+            elif entry.mispredicted:
+                self._mispredictions.increment()
+                if entry.inst.control is ControlClass.RETURN:
+                    self._mispred_return.increment()
+                self.frontend.repair(prediction)
+                self.frontend.release(prediction)
+                self._recover_in_path(entry)
+            else:
+                self.frontend.release(prediction)
+
+    def _resolve_fork(self, entry: InflightInstruction) -> None:
+        child = entry.fork_child
+        entry.fork_child = None
+        prediction = entry.prediction
+        assert child is not None and prediction is not None
+        if child.dead:
+            # The child's subtree was killed by an older recovery; fall
+            # back to a plain misprediction if the kept side was wrong.
+            # (A merely `lost` child is different: its continuation
+            # subtree is alive and resolution proceeds normally.)
+            if entry.mispredicted:
+                self._mispredictions.increment()
+                self.frontend.repair(prediction)
+                self.frontend.release(prediction)
+                self._recover_in_path(entry)
+            else:
+                self.frontend.release(prediction)
+            return
+        self.frontend.release(prediction)
+        if not entry.mispredicted:
+            # Predicted side (the parent's own stream) was right.
+            self._kill_subtree(child)
+            return
+        # The explored side was right: the parent's post-fork stream and
+        # anything forked from it die; the child is the continuation.
+        self._fork_saved.increment()
+        path = entry.path
+        # Temporarily detach the child so the region squash spares it.
+        child_origin = child.origin_seq
+        saved_parent = child.parent
+        child.parent = None
+        self._squash_after(path, entry.seq)
+        child.parent = saved_parent
+        child.origin_seq = child_origin
+        # The parent path stops here: its continuation lives in `child`.
+        path.alive = False
+        path.lost = True
+        path.fetch_halted = True
+        # No RAS restore: see StackOrganizer.repair_on_fork_resolution.
+
+    def _recover_in_path(self, branch: InflightInstruction) -> None:
+        path = branch.path
+        self._squash_after(path, branch.seq)
+        path.alive = True
+        path.lost = False
+        path.fetch_pc = branch.actual_next_pc
+        path.fetch_halted = False
+        path.fetch_stalled_until = self.cycle + 1
+        path.last_fetch_line = None
+
+    def _older_visible_store(
+        self, load: InflightInstruction, position: int
+    ) -> Optional[InflightInstruction]:
+        index = position - 1
+        ruu = self._ruu
+        while index >= 0:
+            entry = ruu[index]
+            if (entry.is_store and not entry.squashed
+                    and entry.mem_address == load.mem_address
+                    and load.path.can_see(entry.path, entry.seq)):
+                return entry
+            index -= 1
+        return None
+
+    def _issue(self) -> None:
+        core = self.config.core
+        budget = core.issue_width
+        alus = core.int_alus
+        muls = core.int_multipliers
+        ports = core.memory_ports
+        cycle = self.cycle
+        for position, entry in enumerate(self._ruu):
+            if budget == 0:
+                break
+            if (entry.issued or entry.squashed
+                    or entry.dispatched_cycle >= cycle):
+                continue
+            if not entry.deps_completed():
+                continue
+            inst = entry.inst
+            if entry.is_load:
+                if ports == 0:
+                    continue
+                store = self._older_visible_store(entry, position)
+                if store is not None and not store.completed:
+                    continue
+                latency = 1 if store is not None else (
+                    self.memory.access_data(entry.mem_address))
+                ports -= 1
+            elif entry.is_store:
+                if ports == 0:
+                    continue
+                self.memory.access_data(entry.mem_address, is_store=True)
+                latency = 1
+                ports -= 1
+            elif inst.opcode is Opcode.MUL:
+                if muls == 0:
+                    continue
+                muls -= 1
+                latency = exec_latency(inst)
+            else:
+                if alus == 0:
+                    continue
+                alus -= 1
+                latency = exec_latency(inst)
+            entry.issued = True
+            entry.complete_cycle = cycle + latency
+            budget -= 1
+
+    def _dispatch(self) -> None:
+        budget = self.config.core.decode_width
+        cycle = self.cycle
+        candidates = [
+            p for p in self._alive_paths()
+            if p.dispatch_enabled and p.ifq and p.ifq[0].ready_cycle <= cycle
+        ]
+        if not candidates:
+            return
+        start = self._rr_offset % len(candidates)
+        order = candidates[start:] + candidates[:start]
+        progress = True
+        while budget and progress:
+            progress = False
+            for path in order:
+                if budget == 0:
+                    break
+                if not path.ifq or path.ifq[0].ready_cycle > cycle:
+                    continue
+                if len(self._ruu) >= self.config.core.ruu_size:
+                    return
+                fetched = path.ifq[0]
+                inst = fetched.inst
+                if inst.is_memory and self._lsq_count >= self.config.core.lsq_size:
+                    continue
+                path.ifq.popleft()
+                self._dispatch_one(path, fetched)
+                budget -= 1
+                progress = True
+
+    def _dispatch_one(self, path: PathContext, fetched) -> None:
+        self._seq += 1
+        inst = fetched.inst
+        undo: List = []
+        state = self._exec_state.bind(path)
+        outcome = execute(inst, fetched.pc, state, undo)
+        entry = InflightInstruction(
+            self._seq, fetched.pc, inst, outcome, fetched.prediction,
+            self.cycle, path_id=path.path_id,
+        )
+        entry.path = path
+        entry.undo = undo
+        if entry.is_store:
+            entry.store_value = state.captured_store
+        prediction = fetched.prediction
+        if prediction is not None and not outcome.is_halt:
+            entry.mispredicted = prediction.target != outcome.next_pc
+        for reg in source_regs(inst):
+            writer = path.last_writer.get(reg)
+            if writer is not None and not writer.completed and not writer.squashed:
+                entry.deps.append(writer)
+        if entry.dest is not None:
+            path.last_writer[entry.dest] = entry
+        if inst.is_memory:
+            self._lsq_count += 1
+        child = fetched.forked_child
+        if child is not None:
+            if child.alive:
+                # The fork's register snapshot exists now.
+                child.regs = list(path.regs)
+                child.origin_seq = entry.seq
+                child.dispatch_enabled = True
+                child.last_writer = dict(path.last_writer)
+                entry.fork_child = child
+            else:
+                entry.fork_child = None
+        self._ruu.append(entry)
+        self._dispatched.increment()
+
+    def _maybe_fork(
+        self, path: PathContext, fetched: _FetchedInstruction
+    ) -> None:
+        """Fork at a low-confidence conditional branch, context permitting."""
+        inst = fetched.inst
+        if inst.control is not ControlClass.COND_BRANCH:
+            return
+        if len(self._alive_paths()) >= self.config.multipath.max_paths:
+            return
+        if not self.confidence.is_low_confidence(fetched.pc):
+            return
+        prediction = fetched.prediction
+        assert prediction is not None
+        alternate = (fetched.pc + WORD_SIZE if prediction.taken
+                     else inst.target)
+        if alternate is None or not self.program.in_text(alternate):
+            return
+        child = PathContext(
+            self._next_path_id, alternate, regs=None, parent=path,
+            ras=self.organizer.stack_for_fork(path),
+        )
+        child.dispatch_enabled = False
+        child.alternate_target = alternate
+        self._next_path_id += 1
+        self._paths.append(child)
+        fetched.forked_child = child
+        self._forks.increment()
+
+    def _fetch(self) -> None:
+        core = self.config.core
+        budget = core.fetch_width
+        paths = self._alive_paths()
+        if not paths:
+            return
+        self._rr_offset += 1
+        start = self._rr_offset % len(paths)
+        order = paths[start:] + paths[:start]
+        for path in order:
+            if budget == 0:
+                return
+            budget = self._fetch_path(path, budget)
+
+    def _fetch_path(self, path: PathContext, budget: int) -> int:
+        if path.fetch_halted or self.cycle < path.fetch_stalled_until:
+            return budget
+        program = self.program
+        while budget and len(path.ifq) < self.config.core.ifq_size:
+            pc = path.fetch_pc
+            if not program.in_text(pc):
+                path.fetch_halted = True
+                return budget
+            line = pc >> self._fetch_line_shift
+            if line != path.last_fetch_line:
+                latency = self.memory.fetch_instruction(pc)
+                path.last_fetch_line = line
+                if latency > self.config.memory.l1i.hit_latency:
+                    path.fetch_stalled_until = self.cycle + latency
+                    return budget
+            inst = program.fetch(pc)
+            prediction: Optional[Prediction] = None
+            next_pc = pc + WORD_SIZE
+            if inst.is_control:
+                prediction = self.frontend.predict(pc, inst, ras=path.ras)
+                next_pc = prediction.target
+            fetched = _FetchedInstruction(
+                pc, inst, prediction,
+                self.cycle + 1 + self.config.core.frontend_depth,
+            )
+            if prediction is not None:
+                self._maybe_fork(path, fetched)
+            path.ifq.append(fetched)
+            self._fetched.increment()
+            path.fetch_pc = next_pc
+            budget -= 1
+            if inst.opcode is Opcode.HALT:
+                path.fetch_halted = True
+                return budget
+            if inst.is_control and next_pc != pc + WORD_SIZE:
+                return budget  # stop this path at a taken transfer
+        return budget
+
+    # ------------------------------------------------------------------
+    # Driver.
+
+    def step(self) -> None:
+        self._commit()
+        if not self.done:
+            self._writeback()
+            self._issue()
+            self._dispatch()
+            self._fetch()
+        self.cycle += 1
+
+    def run(self) -> SimResult:
+        last_commit_cycle = 0
+        last_committed = 0
+        while not self.done:
+            if self.max_cycles is not None and self.cycle >= self.max_cycles:
+                break
+            if (self.max_instructions is not None
+                    and self._committed.value >= self.max_instructions):
+                break
+            self.step()
+            if self._committed.value != last_committed:
+                last_committed = self._committed.value
+                last_commit_cycle = self.cycle
+            elif self.cycle - last_commit_cycle > _DEADLOCK_LIMIT:
+                raise SimulationError(
+                    f"multipath: no commit for {_DEADLOCK_LIMIT} cycles at "
+                    f"cycle {self.cycle} (paths={self._paths!r})"
+                )
+            # Prune long-dead paths with no in-flight entries.
+            if self.cycle % 512 == 0:
+                self._prune_paths()
+        return self._finalize()
+
+    def _prune_paths(self) -> None:
+        """Collapse drained zombies out of ancestry chains, drop corpses.
+
+        A fork the parent loses leaves it as a zombie anchoring its
+        surviving child; without splicing, a long run accumulates an
+        unbounded ancestor chain and `can_see` walks slow down. Once a
+        zombie has no in-flight entries its visibility no longer
+        matters, so its child can adopt the zombie's parent — taking the
+        *older* fork seq as its horizon, which preserves visibility into
+        the grandparent exactly.
+        """
+        inflight = {id(entry.path) for entry in self._ruu}
+        for path in self._paths:
+            while True:
+                parent = path.parent
+                if (parent is None or parent.alive
+                        or id(parent) in inflight):
+                    break
+                path.origin_seq = (
+                    parent.origin_seq if path.origin_seq == -1
+                    else min(path.origin_seq, parent.origin_seq))
+                path.parent = parent.parent
+        referenced = set()
+        for path in self._paths:
+            if path.alive or id(path) in inflight:
+                node = path
+                while node is not None:
+                    referenced.add(id(node))
+                    node = node.parent
+        self._paths = [p for p in self._paths if id(p) in referenced]
+
+    def _finalize(self) -> SimResult:
+        self._cycles_stat.increment(self.cycle - self._cycles_stat.value)
+        group = self.stats
+        for name in ("return_accuracy", "cond_accuracy", "indirect_accuracy"):
+            source = self.frontend.stats[name]
+            group.rate(name).record_many(source.hits, source.events)
+        stacks = []
+        if self.organizer.is_per_path:
+            stacks = [p.ras for p in self._paths if p.ras is not None]
+        elif self.organizer.root_stack() is not None:
+            stacks = [self.organizer.root_stack()]
+        overflow = sum(s.stats["overflows"].value for s in stacks)
+        underflow = sum(s.stats["underflows"].value for s in stacks)
+        group.counter("ras_overflows").increment(overflow)
+        group.counter("ras_underflows").increment(underflow)
+        return SimResult(group)

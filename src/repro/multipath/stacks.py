@@ -1,0 +1,90 @@
+"""Return-address-stack organisations under multipath execution.
+
+The three designs the paper compares (Figure: "Relative performance for
+different stack organizations under multipath execution"):
+
+* ``UNIFIED`` — every path pushes and pops one shared stack, with the
+  baseline repair mechanism. Contention between concurrent paths
+  corrupts it regardless of checkpointing.
+* ``UNIFIED_CHECKPOINT`` — the shared stack checkpoints its *entire*
+  contents at every prediction. Repairs ordinary (non-forked)
+  mispredictions perfectly, but fork contention remains unrepairable:
+  restoring a fork branch's checkpoint would wipe the surviving
+  sibling's legitimate pushes, and not restoring leaves the loser's.
+* ``PER_PATH`` — each path context owns a private stack, copied from
+  its parent at the fork. No contention, by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bpred.ras import BaseRas, make_ras
+from repro.config.machine import BranchPredictorConfig
+from repro.config.options import RepairMechanism, StackOrganization
+from repro.multipath.path import PathContext
+
+
+class StackOrganizer:
+    """Creates and hands out stacks according to the organisation."""
+
+    def __init__(
+        self,
+        organization: StackOrganization,
+        predictor_config: BranchPredictorConfig,
+    ) -> None:
+        self.organization = organization
+        self.config = predictor_config
+        self._shared: Optional[BaseRas] = None
+        if not predictor_config.ras_enabled:
+            return
+        if organization is StackOrganization.UNIFIED:
+            self._shared = make_ras(
+                predictor_config.ras_entries,
+                predictor_config.ras_repair,
+                predictor_config.self_checkpoint_overprovision,
+                predictor_config.repair_contents_depth,
+            )
+        elif organization is StackOrganization.UNIFIED_CHECKPOINT:
+            self._shared = make_ras(
+                predictor_config.ras_entries,
+                RepairMechanism.FULL_STACK,
+            )
+
+    @property
+    def is_per_path(self) -> bool:
+        return self.organization is StackOrganization.PER_PATH
+
+    def root_stack(self) -> Optional[BaseRas]:
+        """The stack for the initial path."""
+        if not self.config.ras_enabled:
+            return None
+        if self.is_per_path:
+            return make_ras(
+                self.config.ras_entries,
+                self.config.ras_repair,
+                self.config.self_checkpoint_overprovision,
+                self.config.repair_contents_depth,
+            )
+        return self._shared
+
+    def stack_for_fork(self, parent: PathContext) -> Optional[BaseRas]:
+        """The stack a child forked from ``parent`` should use."""
+        if not self.config.ras_enabled:
+            return None
+        if self.is_per_path:
+            assert parent.ras is not None
+            return parent.ras.clone()
+        return self._shared
+
+    def repair_on_fork_resolution(self) -> bool:
+        """Should a resolved *forked* branch restore its checkpoint?
+
+        Never: with a unified stack the survivor's own pushes are
+        interleaved after the checkpoint, so restoring destroys them
+        (and not restoring leaves the loser's — the unrepairable
+        contention the paper describes). With per-path stacks the loser
+        simply discards its private copy and the survivor's needs no
+        repair.
+        """
+        return False

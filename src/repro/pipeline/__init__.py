@@ -1,0 +1,26 @@
+"""The single-path out-of-order pipeline (HydraScalar analogue).
+
+Execution-driven and cycle-level: instructions are fetched along the
+*predicted* path, executed functionally at dispatch (with per-
+instruction undo logs), issued out of order through an RUU/LSQ window,
+and committed in order. Mispredicted branches resolve at writeback;
+recovery rewinds the undo logs, restores the return-address stack
+through the configured repair mechanism and redirects fetch. Wrong-path
+instructions therefore really fetch, execute, touch the caches and
+corrupt the RAS — the phenomenon the paper measures.
+"""
+
+from repro.pipeline.inflight import InflightInstruction, dest_reg, source_regs
+from repro.pipeline.results import SimResult
+from repro.pipeline.cpu import SinglePathCPU
+from repro.pipeline.timeline import TimelineRecorder, render_timeline
+
+__all__ = [
+    "InflightInstruction",
+    "SimResult",
+    "SinglePathCPU",
+    "TimelineRecorder",
+    "dest_reg",
+    "render_timeline",
+    "source_regs",
+]

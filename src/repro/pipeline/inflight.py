@@ -1,0 +1,145 @@
+"""In-flight instruction records and operand helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bpred.predictor import Prediction
+from repro.emu.exec_core import ExecOutcome
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, REG_RA
+
+#: Execution latency by opcode (cycles in a functional unit); loads add
+#: the cache latency on top of nothing (the cache *is* their latency).
+_LATENCY = {
+    Opcode.MUL: 3,
+}
+_DEFAULT_LATENCY = 1
+
+#: Opcodes that read no registers at all.
+_NO_SOURCES = frozenset({
+    Opcode.LI, Opcode.J, Opcode.JAL, Opcode.NOP, Opcode.HALT,
+})
+#: Opcodes reading a single source in ``rs``.
+_RS_ONLY = frozenset({
+    Opcode.ADDI, Opcode.ANDI, Opcode.XORI, Opcode.SLLI, Opcode.SRLI,
+    Opcode.LOAD, Opcode.BEQZ, Opcode.BNEZ, Opcode.BLTZ, Opcode.BGEZ,
+    Opcode.JR, Opcode.JALR,
+})
+#: Opcodes writing ``rd``.
+_RD_DEST = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SLT, Opcode.MUL,
+    Opcode.ADDI, Opcode.ANDI, Opcode.XORI, Opcode.SLLI, Opcode.SRLI,
+    Opcode.LI, Opcode.LOAD,
+})
+
+
+def source_regs(inst: Instruction) -> Tuple[int, ...]:
+    """Architectural registers ``inst`` reads (r0 excluded: never waits)."""
+    op = inst.opcode
+    if op in _NO_SOURCES:
+        return ()
+    if op is Opcode.RET:
+        regs: Tuple[int, ...] = (REG_RA,)
+    elif op in _RS_ONLY:
+        regs = (inst.rs,)
+    elif op is Opcode.STORE:
+        regs = (inst.rs, inst.rt)
+    else:  # three-operand ALU
+        regs = (inst.rs, inst.rt)
+    return tuple(r for r in regs if r != 0)
+
+
+def dest_reg(inst: Instruction) -> Optional[int]:
+    """The register ``inst`` writes, or None."""
+    op = inst.opcode
+    if op in _RD_DEST:
+        return inst.rd if inst.rd != 0 else None
+    if op in (Opcode.JAL, Opcode.JALR):
+        return REG_RA
+    return None
+
+
+def exec_latency(inst: Instruction) -> int:
+    """Functional-unit occupancy in cycles (memory adds cache time)."""
+    return _LATENCY.get(inst.opcode, _DEFAULT_LATENCY)
+
+
+class InflightInstruction:
+    """One RUU entry: everything between dispatch and commit."""
+
+    __slots__ = (
+        "seq", "pc", "inst", "outcome", "prediction", "undo",
+        "deps", "dest", "mem_address", "is_load", "is_store",
+        "dispatched_cycle", "issued", "complete_cycle", "completed",
+        "squashed", "mispredicted", "path_id",
+        # Multipath extensions (unused by the single-path CPU):
+        "path", "store_value", "fork_child",
+        # Timeline diagnostics (filled when the CPU records them):
+        "fetch_cycle", "issue_cycle", "commit_cycle",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        inst: Instruction,
+        outcome: ExecOutcome,
+        prediction: Optional[Prediction],
+        dispatched_cycle: int,
+        path_id: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.outcome = outcome
+        self.prediction = prediction
+        self.undo: List = []
+        #: Producing InflightInstructions this one waits on.
+        self.deps: List["InflightInstruction"] = []
+        self.dest = dest_reg(inst)
+        self.mem_address = outcome.mem_address
+        self.is_load = inst.opcode is Opcode.LOAD
+        self.is_store = inst.opcode is Opcode.STORE
+        self.dispatched_cycle = dispatched_cycle
+        self.issued = False
+        self.complete_cycle = -1
+        self.completed = False
+        self.squashed = False
+        #: Set at dispatch when the fetch-time prediction disagrees with
+        #: the functionally computed next PC.
+        self.mispredicted = False
+        #: Owning path context (always 0 on a single-path machine).
+        self.path_id = path_id
+        #: Multipath: owning PathContext object.
+        self.path = None
+        #: Multipath: value a store will write at commit (stores are
+        #: buffered in the LSQ; memory is architectural-only).
+        self.store_value: Optional[int] = None
+        #: Multipath: the child PathContext forked at this branch.
+        self.fork_child = None
+        #: Stage timestamps for timeline rendering (-1 = not recorded).
+        self.fetch_cycle = -1
+        self.issue_cycle = -1
+        self.commit_cycle = -1
+
+    @property
+    def actual_next_pc(self) -> int:
+        return self.outcome.next_pc
+
+    @property
+    def actual_taken(self) -> bool:
+        return self.outcome.taken
+
+    def deps_completed(self) -> bool:
+        return all(dep.completed for dep in self.deps)
+
+    def __repr__(self) -> str:
+        flags = "".join((
+            "I" if self.issued else "",
+            "C" if self.completed else "",
+            "S" if self.squashed else "",
+            "M" if self.mispredicted else "",
+        ))
+        return f"Inflight(seq={self.seq}, pc={self.pc}, {self.inst.opcode}, {flags})"

@@ -1,0 +1,103 @@
+"""ASCII pipeline timelines (a SimpleScalar `-ptrace` analogue).
+
+Collect committed instructions with a :class:`TimelineRecorder` hook,
+then render a classic per-instruction stage diagram::
+
+    pc=  120 addi   F---D.,,IX_____________C
+    pc=  124 bnez       F---D.,,IX_________C
+
+Legend: ``F`` fetch, ``D`` dispatch, ``I`` issue, ``X`` execution
+cycles, ``C`` commit; ``-`` front-end latency, ``.`` waiting in the
+window, ``_`` completed but waiting to retire in order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.pipeline.inflight import InflightInstruction
+
+
+class TimelineRecord:
+    """Stage timestamps of one committed instruction."""
+
+    __slots__ = ("pc", "opcode", "fetch", "dispatch", "issue",
+                 "complete", "commit")
+
+    def __init__(self, entry: InflightInstruction) -> None:
+        self.pc = entry.pc
+        self.opcode = entry.inst.opcode.value
+        self.fetch = entry.fetch_cycle
+        self.dispatch = entry.dispatched_cycle
+        self.issue = entry.issue_cycle
+        self.complete = entry.complete_cycle
+        self.commit = entry.commit_cycle
+
+    def __repr__(self) -> str:
+        return (f"TimelineRecord(pc={self.pc}, {self.opcode}, "
+                f"F{self.fetch} D{self.dispatch} I{self.issue} "
+                f"W{self.complete} C{self.commit})")
+
+
+class TimelineRecorder:
+    """A commit hook that captures stage timestamps.
+
+    Usage::
+
+        recorder = TimelineRecorder(limit=200)
+        cpu = SinglePathCPU(program, commit_hook=recorder)
+        cpu.run()
+        print(render_timeline(recorder.records))
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self.records: List[TimelineRecord] = []
+        self.limit = limit
+
+    def __call__(self, entry: InflightInstruction) -> None:
+        if self.limit is not None and len(self.records) >= self.limit:
+            return
+        self.records.append(TimelineRecord(entry))
+
+
+def render_timeline(
+    records: List[TimelineRecord],
+    start: int = 0,
+    count: int = 32,
+    max_width: int = 90,
+) -> str:
+    """Render ``count`` records starting at ``start`` as ASCII rows."""
+    window = records[start:start + count]
+    if not window:
+        return "(no timeline records)"
+    base = min(record.fetch for record in window if record.fetch >= 0)
+    lines = []
+    for record in window:
+        end = record.commit
+        width = min(max_width, end - base + 1)
+        cells = [" "] * width
+
+        def put(cycle: int, char: str) -> None:
+            index = cycle - base
+            if 0 <= index < width:
+                cells[index] = char
+
+        def fill(lo: int, hi: int, char: str) -> None:
+            for cycle in range(lo, hi):
+                index = cycle - base
+                if 0 <= index < width and cells[index] == " ":
+                    cells[index] = char
+
+        if record.fetch >= 0:
+            put(record.fetch, "F")
+            fill(record.fetch + 1, record.dispatch, "-")
+        put(record.dispatch, "D")
+        if record.issue >= 0:
+            fill(record.dispatch + 1, record.issue, ".")
+            put(record.issue, "I")
+            fill(record.issue + 1, record.complete, "X")
+            fill(record.complete, record.commit, "_")
+        put(record.commit, "C")
+        lines.append(
+            f"pc={record.pc:6d} {record.opcode:6s} {''.join(cells)}")
+    return "\n".join(lines)

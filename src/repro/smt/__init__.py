@@ -1,0 +1,17 @@
+"""Simultaneous multithreading and the return-address stack.
+
+The paper's related work cites Hily & Seznec: in an SMT processor,
+"because calls and returns from different threads can be interleaved,
+they find per-thread stacks are a necessity" — the same contention
+structure as multipath execution, arising between *architected* threads
+instead of speculative paths.
+
+:class:`SmtFrontEndSim` interleaves several hardware threads through
+one front end (fast-model fidelity: functional per-thread execution,
+bounded wrong-path replay) with either one shared return-address stack
+or one per thread, reproducing that claim quantitatively (ablation A9).
+"""
+
+from repro.smt.frontend import SmtFrontEndSim, SmtResult, SmtThreadResult
+
+__all__ = ["SmtFrontEndSim", "SmtResult", "SmtThreadResult"]

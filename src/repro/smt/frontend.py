@@ -1,0 +1,222 @@
+"""The SMT front-end interleaving model.
+
+Fidelity level matches :mod:`repro.fastsim`: each thread executes its
+program functionally in its own machine state; predictor structures are
+shared (as in a real SMT front end); each thread's mispredictions
+trigger a bounded wrong-path replay that pushes/pops the RAS it uses.
+
+The experiment knob is the stack organisation:
+
+* **shared** — one RAS for all threads. Interleaved calls and returns
+  from unrelated threads shred the LIFO discipline; worse, repairing a
+  checkpoint after thread T's misprediction rolls back pushes other
+  threads performed in between. Both effects are fundamental, not
+  modelling artefacts — they are why Hily & Seznec call per-thread
+  stacks a necessity.
+* **per-thread** — one RAS per hardware context; each thread behaves
+  like a single-threaded machine.
+
+Threads may run the same program (homogeneous SMT, the default in the
+benches: predictor-table aliasing is then constructive and the isolated
+variable is stack contention) or different programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bpred.predictor import FrontEndPredictor
+from repro.bpred.ras import BaseRas, make_ras
+from repro.config.machine import BranchPredictorConfig
+from repro.emu.exec_core import execute
+from repro.emu.machine_state import MachineState
+from repro.errors import ConfigError, EmulationError
+from repro.isa.opcodes import WORD_SIZE
+from repro.isa.program import Program
+
+
+@dataclass
+class SmtThreadResult:
+    """Per-thread prediction outcome."""
+
+    thread: int
+    instructions: int
+    returns: int
+    return_hits: int
+    mispredictions: int
+
+    @property
+    def return_accuracy(self) -> Optional[float]:
+        if self.returns == 0:
+            return None
+        return self.return_hits / self.returns
+
+
+class SmtResult:
+    """Aggregate over all threads."""
+
+    def __init__(self, threads: List[SmtThreadResult]) -> None:
+        self.threads = threads
+
+    @property
+    def instructions(self) -> int:
+        return sum(t.instructions for t in self.threads)
+
+    @property
+    def returns(self) -> int:
+        return sum(t.returns for t in self.threads)
+
+    @property
+    def return_accuracy(self) -> Optional[float]:
+        returns = self.returns
+        if returns == 0:
+            return None
+        return sum(t.return_hits for t in self.threads) / returns
+
+    def __repr__(self) -> str:
+        shown = ("n/a" if self.return_accuracy is None
+                 else f"{self.return_accuracy:.4f}")
+        return (f"SmtResult(threads={len(self.threads)}, "
+                f"n={self.instructions}, ret_acc={shown})")
+
+
+class _ThreadContext:
+    __slots__ = ("program", "state", "pc", "ras", "halted",
+                 "instructions", "returns", "return_hits", "mispredictions")
+
+    def __init__(self, program: Program, ras: Optional[BaseRas]) -> None:
+        self.program = program
+        self.state = MachineState(pc=program.entry,
+                                  initial_memory=program.data)
+        self.pc = program.entry
+        self.ras = ras
+        self.halted = False
+        self.instructions = 0
+        self.returns = 0
+        self.return_hits = 0
+        self.mispredictions = 0
+
+
+class SmtFrontEndSim:
+    """Round-robin interleaving of N threads through one front end."""
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        predictor_config: Optional[BranchPredictorConfig] = None,
+        per_thread_stacks: bool = True,
+        interleave_quantum: int = 4,
+        wrong_path_instructions: int = 16,
+        max_instructions_per_thread: int = 50_000_000,
+    ) -> None:
+        if not programs:
+            raise ConfigError("SMT needs at least one thread")
+        if interleave_quantum < 1:
+            raise ConfigError("interleave_quantum must be >= 1")
+        config = predictor_config or BranchPredictorConfig()
+        import dataclasses
+        # The facade's own stack must not exist: stacks are owned here.
+        self.frontend = FrontEndPredictor(
+            dataclasses.replace(config, ras_enabled=False))
+        self.config = config
+        self.per_thread_stacks = per_thread_stacks
+        self.quantum = interleave_quantum
+        self.wrong_path_instructions = wrong_path_instructions
+        self.max_per_thread = max_instructions_per_thread
+
+        def new_stack() -> Optional[BaseRas]:
+            if not config.ras_enabled:
+                return None
+            return make_ras(config.ras_entries, config.ras_repair,
+                            config.self_checkpoint_overprovision,
+                            config.repair_contents_depth)
+
+        shared = None if per_thread_stacks else new_stack()
+        self._threads = [
+            _ThreadContext(
+                program, new_stack() if per_thread_stacks else shared)
+            for program in programs
+        ]
+        self.shared_stack = shared
+
+    # ------------------------------------------------------------------
+
+    def _walk_wrong_path(self, thread: _ThreadContext, start_pc: int) -> None:
+        """Bounded front-end walk down the predicted wrong path."""
+        program = thread.program
+        frontend = self.frontend
+        pc = start_pc
+        pending = []
+        for _ in range(self.wrong_path_instructions):
+            if not program.in_text(pc):
+                break
+            inst = program.fetch(pc)
+            if inst.opcode.value == "halt":
+                break
+            if inst.is_control:
+                prediction = frontend.predict(pc, inst, ras=thread.ras)
+                pending.append(prediction)
+                pc = prediction.target
+            else:
+                pc += WORD_SIZE
+        for prediction in pending:
+            frontend.release(prediction)
+
+    def _step_thread(self, thread: _ThreadContext) -> None:
+        """Advance one thread by one architectural instruction."""
+        program = thread.program
+        frontend = self.frontend
+        pc = thread.pc
+        inst = program.fetch(pc)
+        prediction = None
+        if inst.is_control:
+            prediction = frontend.predict(pc, inst, ras=thread.ras)
+        outcome = execute(inst, pc, thread.state)
+        thread.instructions += 1
+        if outcome.is_halt:
+            thread.halted = True
+            if prediction is not None:
+                frontend.release(prediction)
+            return
+        if prediction is not None:
+            if inst.control.is_return:
+                thread.returns += 1
+                if prediction.target == outcome.next_pc:
+                    thread.return_hits += 1
+            if prediction.target != outcome.next_pc:
+                thread.mispredictions += 1
+                self._walk_wrong_path(thread, prediction.target)
+                # Repair restores the stack this thread predicted with —
+                # on a shared stack this also rolls back other threads'
+                # interleaved pushes: the fundamental SMT hazard.
+                frontend.repair(prediction)
+            frontend.train_commit(
+                pc, inst, outcome.taken, outcome.next_pc, prediction)
+            frontend.release(prediction)
+        thread.pc = outcome.next_pc
+
+    def run(self) -> SmtResult:
+        """Interleave all threads to completion."""
+        threads = self._threads
+        while True:
+            progressed = False
+            for thread in threads:
+                if thread.halted:
+                    continue
+                if thread.instructions >= self.max_per_thread:
+                    raise EmulationError(
+                        "SMT watchdog: thread exceeded instruction cap")
+                for _ in range(self.quantum):
+                    if thread.halted:
+                        break
+                    self._step_thread(thread)
+                progressed = True
+            if not progressed:
+                break
+        return SmtResult([
+            SmtThreadResult(
+                index, thread.instructions, thread.returns,
+                thread.return_hits, thread.mispredictions)
+            for index, thread in enumerate(threads)
+        ])

@@ -1,0 +1,78 @@
+"""Minimal plain-text bar helpers for terminal output.
+
+Used by the examples and the CLI `report` command. Deliberately plain:
+fixed-width ASCII, no colour, no unicode — output must survive logs,
+CI transcripts and EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def hbar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    max_value: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(no data)"
+    peak = max_value if max_value is not None else max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(min(1.0, value / peak) * width))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{label.ljust(label_width)} |{bar}| {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    group_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """One block per group, one bar per series inside it."""
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    if not group_labels or not series:
+        return "(no data)"
+    peak = max_value
+    if peak is None:
+        peak = max(max(values) for values in series.values())
+    series_width = max(len(name) for name in series)
+    lines: List[str] = []
+    for index, group in enumerate(group_labels):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index]
+            filled = int(round(min(1.0, value / max(peak, 1e-12)) * width))
+            bar = "#" * filled + "." * (width - filled)
+            lines.append(
+                f"  {name.ljust(series_width)} |{bar}| {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], levels: str = " .:-=+*#") -> str:
+    """A one-line trend strip (coarse, ASCII-only)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return levels[-1] * len(values)
+    steps = len(levels) - 1
+    return "".join(
+        levels[int(round((value - low) / span * steps))] for value in values
+    )

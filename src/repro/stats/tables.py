@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and consistent without pulling in
+any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.stats.counters import Counter, Histogram, Rate, StatGroup
+
+
+def format_value(value: object) -> str:
+    """Render one table cell: floats to 4 significant places, None as n/a."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Format ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_stat_group(group: StatGroup) -> str:
+    """Render every stat in ``group`` as a two-column table."""
+    rows: List[List[object]] = []
+    for stat in group.all_stats():
+        if isinstance(stat, Counter):
+            rows.append([stat.name, stat.value])
+        elif isinstance(stat, Rate):
+            rows.append([stat.name, stat.value])
+        elif isinstance(stat, Histogram):
+            rows.append([f"{stat.name}.mean", stat.mean])
+            rows.append([f"{stat.name}.max", stat.max_key])
+    return format_table(["stat", "value"], rows, title=group.name)

@@ -1,0 +1,28 @@
+"""Control-flow traces: record once, sweep predictors many times.
+
+The paper's methodology is execution-driven, but trace-driven studies
+are the classic cheap alternative: record the committed control-flow
+stream once, then replay it through any number of predictor
+configurations without re-emulating. This package provides a compact
+binary trace format (`TraceWriter` / `TraceReader`), a recorder that
+drives the reference emulator, and a trace-driven return-address-stack
+evaluator used for quick corruption-free sweeps.
+
+Limitation, by design: a control-flow trace contains only the committed
+path, so trace-driven replay cannot model wrong-path corruption — use
+`repro.fastsim` (wrong-path replay) or the cycle models for that. The
+trace evaluator is the right tool for overflow/underflow and capacity
+questions, which depend only on the committed call/return structure.
+"""
+
+from repro.trace.format import ControlFlowEvent, TraceReader, TraceWriter, record_trace
+from repro.trace.replay import TraceRasEvaluator, TraceRasResult
+
+__all__ = [
+    "ControlFlowEvent",
+    "TraceRasEvaluator",
+    "TraceRasResult",
+    "TraceReader",
+    "TraceWriter",
+    "record_trace",
+]

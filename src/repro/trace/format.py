@@ -1,0 +1,163 @@
+"""The binary control-flow trace format.
+
+A trace is a sequence of control-transfer events from the committed
+instruction stream (non-control instructions are elided — they carry no
+predictor-relevant information). Each event packs to 13 bytes:
+
+====== ===== ==========================================
+offset bytes field
+====== ===== ==========================================
+0      1     control class (ControlClass index)
+1      4     PC of the control instruction (uint32 LE)
+5      4     actual next PC (uint32 LE)
+9      4     instructions since the previous event
+====== ===== ==========================================
+
+A 16-byte header carries a magic, a format version, and the event
+count. The format is deliberately boring: any tool can parse it.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterator, List, Optional, Union
+
+from repro.emu.emulator import Emulator
+from repro.errors import ReproError
+from repro.isa.opcodes import ControlClass
+from repro.isa.program import Program
+
+MAGIC = b"RASTRACE"
+VERSION = 1
+_HEADER = struct.Struct("<8sII")
+_EVENT = struct.Struct("<BIII")
+
+#: Order gives each ControlClass a stable byte encoding.
+_CLASS_LIST = list(ControlClass)
+_CLASS_INDEX = {cls: i for i, cls in enumerate(_CLASS_LIST)}
+
+
+class TraceFormatError(ReproError):
+    """The trace bytes are not a valid RASTRACE stream."""
+
+
+class ControlFlowEvent:
+    """One committed control transfer."""
+
+    __slots__ = ("control", "pc", "next_pc", "gap")
+
+    def __init__(self, control: ControlClass, pc: int, next_pc: int,
+                 gap: int = 0) -> None:
+        self.control = control
+        self.pc = pc
+        self.next_pc = next_pc
+        #: Non-control instructions since the previous event.
+        self.gap = gap
+
+    @property
+    def taken(self) -> bool:
+        return self.next_pc != self.pc + 4
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ControlFlowEvent)
+                and self.control is other.control
+                and self.pc == other.pc
+                and self.next_pc == other.next_pc
+                and self.gap == other.gap)
+
+    def __repr__(self) -> str:
+        return (f"ControlFlowEvent({self.control.value}, pc={self.pc}, "
+                f"next={self.next_pc}, gap={self.gap})")
+
+
+class TraceWriter:
+    """Stream events to a binary file object."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._count = 0
+        # Reserve the header; patched on close.
+        self._stream.write(_HEADER.pack(MAGIC, VERSION, 0))
+
+    def append(self, event: ControlFlowEvent) -> None:
+        self._stream.write(_EVENT.pack(
+            _CLASS_INDEX[event.control], event.pc, event.next_pc, event.gap))
+        self._count += 1
+
+    def close(self) -> int:
+        """Patch the header with the final count; returns event count."""
+        self._stream.seek(0)
+        self._stream.write(_HEADER.pack(MAGIC, VERSION, self._count))
+        self._stream.flush()
+        return self._count
+
+
+class TraceReader:
+    """Iterate events from a binary trace."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError("truncated trace header")
+        magic, version, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported trace version {version}")
+        self._stream = stream
+        self.count = count
+
+    def __iter__(self) -> Iterator[ControlFlowEvent]:
+        for _ in range(self.count):
+            raw = self._stream.read(_EVENT.size)
+            if len(raw) != _EVENT.size:
+                raise TraceFormatError("truncated trace body")
+            class_index, pc, next_pc, gap = _EVENT.unpack(raw)
+            if class_index >= len(_CLASS_LIST):
+                raise TraceFormatError(f"bad control class {class_index}")
+            yield ControlFlowEvent(_CLASS_LIST[class_index], pc, next_pc, gap)
+
+    def read_all(self) -> List[ControlFlowEvent]:
+        return list(self)
+
+
+def record_trace(
+    program: Program,
+    destination: Optional[Union[str, BinaryIO]] = None,
+    max_instructions: int = 50_000_000,
+) -> Union[bytes, int]:
+    """Run ``program`` on the reference emulator, recording its control
+    transfers.
+
+    With ``destination=None`` the trace is returned as ``bytes``; with a
+    path or binary stream it is written there and the event count is
+    returned.
+    """
+    own_buffer = destination is None
+    own_file = isinstance(destination, str)
+    if own_buffer:
+        stream: BinaryIO = io.BytesIO()
+    elif own_file:
+        stream = open(destination, "wb")  # type: ignore[arg-type]
+    else:
+        stream = destination  # type: ignore[assignment]
+    try:
+        writer = TraceWriter(stream)
+        gap = 0
+        emulator = Emulator(program, max_instructions=max_instructions)
+        for record in emulator.trace():
+            inst = program.fetch(record.pc)
+            if inst.is_control:
+                writer.append(ControlFlowEvent(
+                    inst.control, record.pc, record.next_pc, gap))
+                gap = 0
+            else:
+                gap += 1
+        count = writer.close()
+        if own_buffer:
+            return stream.getvalue()  # type: ignore[union-attr]
+        return count
+    finally:
+        if own_file:
+            stream.close()

@@ -1,0 +1,547 @@
+"""The synthetic-program generator.
+
+Generated programs are *real* programs in the repository's mini-MIPS
+ISA: deterministic register/memory semantics, a software stack for
+nesting, and data-dependent control flow driven by an in-register
+linear-congruential generator. That matters because the pipelines
+execute wrong paths for real — corruption of the return-address stack
+emerges from actual speculative call/return execution rather than from
+an injected-noise model.
+
+Register conventions for generated code:
+
+======  ==========================================================
+r1-r9   block scratch (clobbered freely)
+r4      recursion-depth argument (callee-saved by recursive fns)
+r10     main outer-loop counter (owned by ``main``)
+r11     counted-loop counter (callee-saved by any fn that loops)
+r20     LCG state (global, intentionally clobbered everywhere)
+r21     LCG multiplier constant
+r22-23  branch-test / address scratch
+r24     function-pointer table base (constant)
+r25     heap base (constant)
+r29     stack pointer
+r31     link register
+======  ==========================================================
+
+Call-graph shape: non-recursive functions form a DAG (function ``i``
+only calls ``j > i``), so termination is structural. Each non-leaf
+function makes exactly one *chain* call (usually to the lexically next
+function — the knob that builds vortex-like deep call chains) plus a
+few calls to leaf functions; chain calls are frequently emitted at two
+alternative sites selected by a data-dependent branch, which gives each
+function multiple dynamic return addresses (defeating BTB-only return
+prediction, Table 4) and puts calls in branch shadows (the paper's RAS
+corruption scenario).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.isa.assembler import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.profiles import WorkloadProfile, profile_for
+from repro.workloads.rng import DeterministicRng
+
+#: In-program LCG constants (the same family as the generator's own RNG).
+LCG_MULTIPLIER = 6364136223846793005
+LCG_INCREMENT = 1442695040888963407
+
+#: Data-segment layout (byte addresses, far above any text segment).
+FPTR_TABLE_BASE = 0x100000
+JUMP_TABLE_BASE = 0x110000
+JUMP_TABLE_STRIDE = 64 * 4
+HEAP_BASE = 0x200000
+STACK_BASE = 0x800000
+
+# r4 is deliberately absent: it carries the recursion-depth argument,
+# and a filler op clobbering it mid-recursion would unbound the depth.
+_R_SCRATCH = [1, 2, 3, 5, 6, 7, 8, 9]
+_R_DEPTH = 4
+_R_OUTER = 10
+_R_LOOP = 11
+_R_LCG = 20
+_R_LCG_MUL = 21
+_R_T0 = 22
+_R_T1 = 23
+_R_FPTR = 24
+_R_HEAP = 25
+_R_SP = 29
+_R_RA = 31
+
+
+def _depth_mask(max_depth: int) -> int:
+    """Largest all-ones mask whose value does not exceed ``max_depth``."""
+    mask = 1
+    while (mask << 1) | 1 <= max_depth:
+        mask = (mask << 1) | 1
+    return mask
+
+
+class _FunctionPlan:
+    """Static layout decisions for one generated function."""
+
+    __slots__ = (
+        "name", "index", "is_leaf", "num_blocks", "has_loops",
+        "chain_callee", "dual_chain_site", "leaf_callees",
+        "early_return_bits", "jump_table_site", "indirect_call",
+        "recursive_callee",
+    )
+
+    def __init__(self, name: str, index: int, is_leaf: bool) -> None:
+        self.name = name
+        self.index = index
+        self.is_leaf = is_leaf
+        self.num_blocks = 1
+        self.has_loops = False
+        self.chain_callee: Optional[str] = None
+        self.dual_chain_site = False
+        self.leaf_callees: List[str] = []
+        self.early_return_bits: Optional[int] = None
+        self.jump_table_site: Optional[int] = None
+        self.indirect_call = False
+        self.recursive_callee: Optional[str] = None
+
+
+class WorkloadGenerator:
+    """Generate one benchmark program from a profile and seed."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 1,
+        scale: float = 1.0,
+    ) -> None:
+        if scale <= 0:
+            raise WorkloadError("scale must be positive")
+        self.profile = profile
+        self.seed = seed
+        self.scale = scale
+        # zlib.crc32, not hash(): the builtin string hash is randomised
+        # per process and would make generation non-deterministic.
+        self._rng = DeterministicRng(
+            (seed << 16) ^ zlib.crc32(profile.name.encode())
+        )
+        self._builder = ProgramBuilder(profile.name)
+        self._label_counter = 0
+        self._jump_tables_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Public entry point.
+
+    def generate(self) -> Program:
+        """Plan the call graph, emit every function, assemble."""
+        profile = self.profile
+        function_plans = self._plan_functions()
+        recursive_names = [f"rec{i}" for i in range(profile.recursive_functions)]
+        self._emit_main(function_plans, recursive_names)
+        for plan in function_plans:
+            self._emit_function(plan)
+        for name in recursive_names:
+            self._emit_recursive_function(name, recursive_names)
+        self._emit_fptr_table(function_plans)
+        return self._builder.build(entry="main")
+
+    # ------------------------------------------------------------------
+    # Planning.
+
+    def _plan_functions(self) -> List[_FunctionPlan]:
+        profile = self.profile
+        rng = self._rng
+        count = profile.num_functions
+        first_leaf = max(1, int(round(count * (1.0 - profile.leaf_fraction))))
+        plans: List[_FunctionPlan] = []
+        for index in range(count):
+            plan = _FunctionPlan(f"f{index}", index, index >= first_leaf)
+            plan.num_blocks = rng.randint(profile.min_blocks, profile.max_blocks)
+            plans.append(plan)
+
+        leaf_names = [p.name for p in plans if p.is_leaf]
+        nonleaf = [p for p in plans if not p.is_leaf]
+        recursive_names = [f"rec{i}" for i in range(profile.recursive_functions)]
+
+        for plan in plans:
+            plan.has_loops = rng.chance(profile.loop_fraction)
+            if plan.is_leaf:
+                continue
+            # One chain call: usually the next non-leaf (deep chains when
+            # call_locality is high), otherwise a random later function.
+            later_nonleaf = [
+                p.name for p in nonleaf if p.index > plan.index
+            ]
+            if later_nonleaf and rng.chance(profile.call_locality):
+                plan.chain_callee = later_nonleaf[0]
+            elif later_nonleaf:
+                plan.chain_callee = rng.choice(later_nonleaf)
+            else:
+                plan.chain_callee = rng.choice(leaf_names)
+            plan.dual_chain_site = rng.chance(0.6)
+            # Extra short calls, to leaves only (keeps dynamic size linear).
+            for _ in range(plan.num_blocks):
+                if rng.chance(profile.call_density) and len(plan.leaf_callees) < 3:
+                    plan.leaf_callees.append(rng.choice(leaf_names))
+            if rng.chance(profile.early_return_fraction):
+                plan.early_return_bits = rng.weighted_choice(
+                    list(profile.data_branch_bias)
+                )
+            if recursive_names and rng.chance(0.15):
+                plan.recursive_callee = rng.choice(recursive_names)
+
+        # Scatter indirect-call and jump-table sites over non-leaf
+        # functions, biased toward low indices: early chain functions
+        # execute on nearly every iteration, so sites there actually
+        # contribute to the dynamic instruction mix.
+        if nonleaf:
+            hot = nonleaf[:max(1, len(nonleaf) // 3)]
+            for _ in range(profile.indirect_call_sites):
+                rng.choice(hot if rng.chance(0.7) else nonleaf).indirect_call = True
+            for site in range(profile.jump_table_sites):
+                target = rng.choice(hot if rng.chance(0.7) else nonleaf)
+                target.jump_table_site = site
+        return plans
+
+    # ------------------------------------------------------------------
+    # Small emission helpers.
+
+    def _fresh(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"L_{stem}_{self._label_counter}"
+
+    def _advance_lcg(self) -> None:
+        b = self._builder
+        b.mul(_R_LCG, _R_LCG, _R_LCG_MUL)
+        b.addi(_R_LCG, _R_LCG, LCG_INCREMENT)
+
+    def _extract_bits(self, dest: int, mask: int) -> None:
+        """dest = fresh-LCG bits under ``mask`` (advances the LCG)."""
+        self._advance_lcg()
+        b = self._builder
+        b.srli(_R_T0, _R_LCG, self._rng.randint(18, 45))
+        b.andi(dest, _R_T0, mask)
+
+    def _emit_plain_ops(self, count: int, allow_mem: bool = True) -> None:
+        """Emit ``count`` filler ALU/memory ops over the scratch registers."""
+        b = self._builder
+        rng = self._rng
+        profile = self.profile
+        emitted = 0
+        while emitted < count:
+            if allow_mem and rng.chance(profile.mem_op_density):
+                self._emit_mem_op()
+                emitted += 1
+                continue
+            kind = rng.randint(0, 5)
+            rd = rng.choice(_R_SCRATCH)
+            rs = rng.choice(_R_SCRATCH)
+            rt = rng.choice(_R_SCRATCH)
+            if kind == 0:
+                b.add(rd, rs, rt)
+            elif kind == 1:
+                b.sub(rd, rs, rt)
+            elif kind == 2:
+                b.xor(rd, rs, rt)
+            elif kind == 3:
+                b.addi(rd, rs, rng.randint(-64, 64))
+            elif kind == 4:
+                b.slli(rd, rs, rng.randint(1, 7))
+            else:
+                # Occasionally pull entropy into the dataflow.
+                b.add(rd, rs, _R_LCG)
+            emitted += 1
+
+    def _emit_mem_op(self) -> None:
+        """A random-index load or store over the heap footprint."""
+        b = self._builder
+        rng = self._rng
+        footprint_mask = self.profile.mem_footprint_words - 1
+        b.srli(_R_T0, _R_LCG, rng.randint(10, 30))
+        b.andi(_R_T0, _R_T0, footprint_mask)
+        b.slli(_R_T0, _R_T0, 2)
+        b.add(_R_T0, _R_T0, _R_HEAP)
+        if rng.chance(0.6):
+            b.load(rng.choice(_R_SCRATCH), _R_T0, 0)
+        else:
+            b.store(rng.choice(_R_SCRATCH), _R_T0, 0)
+
+    def _emit_counted_loop_head(self) -> str:
+        """Open a counted loop; returns the back-edge label."""
+        b = self._builder
+        trips = self._rng.randint(self.profile.min_loop_trips,
+                                  self.profile.max_loop_trips)
+        b.li(_R_LOOP, trips)
+        top = self._fresh("loop")
+        b.label(top)
+        return top
+
+    def _emit_counted_loop_tail(self, top: str) -> None:
+        b = self._builder
+        b.addi(_R_LOOP, _R_LOOP, -1)
+        b.bnez(_R_LOOP, top)
+
+    def _emit_data_branch_over(self, emit_shadow) -> None:
+        """A data-dependent branch that usually skips ``emit_shadow()``.
+
+        The shadow (rarely executed side) is the fuel for wrong-path RAS
+        corruption: when the branch mispredicts, whatever ``emit_shadow``
+        emitted — often a call or return-adjacent code — executes
+        speculatively.
+        """
+        bits = self._rng.weighted_choice(list(self.profile.data_branch_bias))
+        self._extract_bits(_R_T1, (1 << bits) - 1)
+        skip = self._fresh("skip")
+        self._builder.bnez(_R_T1, skip)
+        emit_shadow()
+        self._builder.label(skip)
+
+    def _emit_indirect_call(self) -> None:
+        """Call through the global function-pointer table (leaf targets)."""
+        b = self._builder
+        table_mask = self._fptr_table_mask()
+        self._extract_bits(_R_T0, table_mask)
+        b.slli(_R_T0, _R_T0, 2)
+        b.addi(_R_T0, _R_T0, FPTR_TABLE_BASE)
+        b.load(_R_T0, _R_T0, 0)
+        b.jalr(_R_T0)
+
+    def _fptr_table_mask(self) -> int:
+        leaf_count = max(
+            1, int(round(self.profile.num_functions * self.profile.leaf_fraction))
+        )
+        size = 1
+        while size * 2 <= min(leaf_count, 16):
+            size *= 2
+        return size - 1
+
+    def _emit_jump_table_site(self, site: int) -> None:
+        """A switch: indirect jump through a table of in-function labels."""
+        b = self._builder
+        rng = self._rng
+        size = self.profile.jump_table_size
+        table_base = JUMP_TABLE_BASE + site * JUMP_TABLE_STRIDE
+        self._extract_bits(_R_T0, size - 1)
+        b.slli(_R_T0, _R_T0, 2)
+        b.addi(_R_T0, _R_T0, table_base)
+        b.load(_R_T0, _R_T0, 0)
+        b.jr(_R_T0)
+        join = self._fresh("switch_join")
+        for case in range(size):
+            case_label = self._fresh(f"case{case}")
+            b.label(case_label)
+            b.put_data(table_base + case * 4, case_label)
+            self._emit_plain_ops(rng.randint(1, 3), allow_mem=False)
+            if case != size - 1:
+                b.j(join)
+        b.label(join)
+        self._jump_tables_emitted += 1
+
+    def _emit_recursion_call(self, callee: str, max_depth: int) -> None:
+        """Set the depth argument from fresh entropy and call ``callee``."""
+        self._extract_bits(_R_DEPTH, _depth_mask(max_depth))
+        self._builder.jal(callee)
+
+    # ------------------------------------------------------------------
+    # Function bodies.
+
+    def _emit_function(self, plan: _FunctionPlan) -> None:
+        """Emit one DAG function according to its plan."""
+        b = self._builder
+        rng = self._rng
+        profile = self.profile
+        b.label(plan.name)
+
+        # Frame: ra if the function calls, r11 if it loops.
+        save_ra = not plan.is_leaf
+        save_loop = plan.has_loops
+        frame = (4 if save_ra else 0) + (4 if save_loop else 0)
+        if frame:
+            b.addi(_R_SP, _R_SP, -frame)
+            offset = 0
+            if save_ra:
+                b.store(_R_RA, _R_SP, offset)
+                offset += 4
+            if save_loop:
+                b.store(_R_LOOP, _R_SP, offset)
+
+        epilogue = self._fresh(f"{plan.name}_epi")
+        if plan.early_return_bits is not None:
+            # Data-dependent early return: taken with prob 2^-bits, a
+            # prime source of wrong paths crossing a return.
+            self._extract_bits(_R_T1, (1 << plan.early_return_bits) - 1)
+            b.beqz(_R_T1, epilogue)
+
+        # Spread the special sites over the blocks.
+        chain_block = rng.randint(0, plan.num_blocks - 1) if plan.chain_callee else -1
+        leaf_blocks = [
+            rng.randint(0, plan.num_blocks - 1) for _ in plan.leaf_callees
+        ]
+        recursion_block = (
+            rng.randint(0, plan.num_blocks - 1) if plan.recursive_callee else -1
+        )
+        jump_block = (
+            rng.randint(0, plan.num_blocks - 1)
+            if plan.jump_table_site is not None else -1
+        )
+        indirect_block = (
+            rng.randint(0, plan.num_blocks - 1) if plan.indirect_call else -1
+        )
+
+        call_blocks = {chain_block, recursion_block, indirect_block}
+        call_blocks.update(leaf_blocks)
+        for block in range(plan.num_blocks):
+            # Never wrap a call-bearing block in a counted loop: a loop
+            # around the chain call would multiply the whole downstream
+            # call tree (compounding exponentially along the chain), and
+            # even leaf calls under loops inflate dynamic size by orders
+            # of magnitude. Loops stay call-free; calls stay loop-free.
+            looped = plan.has_loops and block not in call_blocks and rng.chance(0.5)
+            loop_top = self._emit_counted_loop_head() if looped else None
+            self._emit_plain_ops(
+                rng.randint(profile.min_block_ops, profile.max_block_ops)
+            )
+            if rng.chance(profile.data_branch_density):
+                self._emit_data_branch_over(
+                    lambda: self._emit_plain_ops(rng.randint(1, 3))
+                )
+            if block == jump_block and plan.jump_table_site is not None:
+                self._emit_jump_table_site(plan.jump_table_site)
+            if block == chain_block:
+                self._emit_chain_call(plan)
+            for site, leaf_block in enumerate(leaf_blocks):
+                if leaf_block == block:
+                    # Sometimes put the leaf call in a branch shadow.
+                    callee = plan.leaf_callees[site]
+                    if rng.chance(0.4):
+                        self._emit_data_branch_over(lambda c=callee: b.jal(c))
+                    else:
+                        b.jal(callee)
+            if block == indirect_block and plan.indirect_call:
+                self._emit_indirect_call()
+            if block == recursion_block and plan.recursive_callee:
+                self._emit_recursion_call(
+                    plan.recursive_callee, profile.max_recursion_depth
+                )
+            if loop_top is not None:
+                self._emit_counted_loop_tail(loop_top)
+
+        b.label(epilogue)
+        if frame:
+            offset = 0
+            if save_ra:
+                b.load(_R_RA, _R_SP, offset)
+                offset += 4
+            if save_loop:
+                b.load(_R_LOOP, _R_SP, offset)
+            b.addi(_R_SP, _R_SP, frame)
+        b.ret()
+
+    def _emit_chain_call(self, plan: _FunctionPlan) -> None:
+        """Emit the single chain call, possibly at two alternative sites."""
+        b = self._builder
+        callee = plan.chain_callee
+        assert callee is not None
+        if not plan.dual_chain_site:
+            b.jal(callee)
+            return
+        # Two return addresses for the same callee, chosen by a coin
+        # flip: defeats last-target (BTB) return prediction and places
+        # calls directly in mispredicted-branch shadows.
+        self._extract_bits(_R_T1, 1)
+        alt = self._fresh("chain_alt")
+        done = self._fresh("chain_done")
+        b.beqz(_R_T1, alt)
+        b.jal(callee)
+        b.j(done)
+        b.label(alt)
+        self._emit_plain_ops(self._rng.randint(1, 2), allow_mem=False)
+        b.jal(callee)
+        b.label(done)
+
+    def _emit_recursive_function(
+        self, name: str, recursive_names: List[str]
+    ) -> None:
+        """A self-recursive function: depth argument in r4."""
+        b = self._builder
+        rng = self._rng
+        b.label(name)
+        b.addi(_R_SP, _R_SP, -8)
+        b.store(_R_RA, _R_SP, 0)
+        b.store(_R_DEPTH, _R_SP, 4)
+        base = self._fresh(f"{name}_base")
+        self._emit_plain_ops(rng.randint(2, 4))
+        b.beqz(_R_DEPTH, base)
+        b.addi(_R_DEPTH, _R_DEPTH, -1)
+        b.jal(name)
+        b.label(base)
+        self._emit_plain_ops(rng.randint(1, 3))
+        b.load(_R_DEPTH, _R_SP, 4)
+        b.load(_R_RA, _R_SP, 0)
+        b.addi(_R_SP, _R_SP, 8)
+        b.ret()
+
+    # ------------------------------------------------------------------
+    # Main and data.
+
+    def _emit_main(
+        self, plans: List[_FunctionPlan], recursive_names: List[str]
+    ) -> None:
+        b = self._builder
+        rng = self._rng
+        profile = self.profile
+        iterations = max(1, int(round(profile.outer_iterations * self.scale)))
+
+        b.label("main")
+        b.li(_R_SP, STACK_BASE)
+        b.li(_R_LCG, (self.seed * 0x9E3779B97F4A7C15 + 12345) & ((1 << 64) - 1))
+        b.li(_R_LCG_MUL, LCG_MULTIPLIER)
+        b.li(_R_FPTR, FPTR_TABLE_BASE)
+        b.li(_R_HEAP, HEAP_BASE)
+        for reg in _R_SCRATCH:
+            b.li(reg, reg * 7)
+        b.li(_R_OUTER, iterations)
+
+        outer = self._fresh("outer")
+        b.label(outer)
+
+        # Top-level call sequence: a few roots (low-index functions) plus
+        # every recursive entry, some guarded by data-dependent branches
+        # so the sequence varies across iterations.
+        roots = [p.name for p in plans if not p.is_leaf][:6] or [plans[0].name]
+        num_root_calls = min(len(roots), rng.randint(2, 4))
+        for name in roots[:num_root_calls]:
+            if rng.chance(0.35):
+                self._emit_data_branch_over(lambda n=name: b.jal(n))
+            else:
+                b.jal(name)
+        for name in recursive_names:
+            self._emit_recursion_call(name, profile.max_recursion_depth)
+        self._emit_plain_ops(rng.randint(2, 5))
+
+        b.addi(_R_OUTER, _R_OUTER, -1)
+        b.bnez(_R_OUTER, outer)
+        b.halt()
+
+    def _emit_fptr_table(self, plans: List[_FunctionPlan]) -> None:
+        """Fill the global function-pointer table with leaf addresses."""
+        leaves = [p.name for p in plans if p.is_leaf]
+        if not leaves:
+            leaves = [plans[-1].name]
+        size = self._fptr_table_mask() + 1
+        for slot in range(size):
+            self._builder.put_data(
+                FPTR_TABLE_BASE + slot * 4, leaves[slot % len(leaves)]
+            )
+
+
+def build_workload(name: str, seed: int = 1, scale: float = 1.0) -> Program:
+    """Build the synthetic benchmark called ``name``.
+
+    Args:
+        name: one of :data:`repro.workloads.BENCHMARK_NAMES`.
+        seed: varies both static structure and dynamic behaviour.
+        scale: multiplies the outer-loop iteration count, scaling the
+            dynamic instruction count roughly linearly.
+    """
+    return WorkloadGenerator(profile_for(name), seed=seed, scale=scale).generate()

@@ -1,0 +1,280 @@
+"""Hand-written micro-kernels.
+
+These tiny programs have fully understood behaviour, which makes them
+the right vehicles for unit tests and for the worked examples: the
+recursive kernels stress RAS depth, the mutual-recursion kernel stresses
+call/return pairing, and the dispatch kernel stresses indirect jumps.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import ProgramBuilder
+from repro.isa.program import Program
+
+_SP = 29
+_RA = 31
+_STACK_BASE = 0x80000
+
+
+def loop_sum_kernel(iterations: int = 100) -> Program:
+    """Sum 1..iterations in a counted loop (r1 holds the result)."""
+    b = ProgramBuilder("loop_sum")
+    b.label("main")
+    b.li(1, 0)            # accumulator
+    b.li(2, iterations)   # counter
+    b.label("top")
+    b.add(1, 1, 2)
+    b.addi(2, 2, -1)
+    b.bnez(2, "top")
+    b.halt()
+    return b.build(entry="main")
+
+
+def fibonacci_kernel(n: int = 10) -> Program:
+    """Doubly recursive fib(n); the result ends in r2.
+
+    Every level performs two calls and two returns, so the RAS sees a
+    dense, deep push/pop pattern — overflow territory for small stacks.
+    """
+    b = ProgramBuilder("fibonacci")
+    b.label("main")
+    b.li(_SP, _STACK_BASE)
+    b.li(4, n)          # argument
+    b.jal("fib")
+    b.halt()
+
+    # fib(n in r4) -> r2
+    b.label("fib")
+    b.li(2, 1)
+    b.addi(5, 4, -2)
+    b.bltz(5, "fib_done")      # n < 2 -> 1
+    b.addi(_SP, _SP, -12)
+    b.store(_RA, _SP, 0)
+    b.store(4, _SP, 4)
+    b.addi(4, 4, -1)
+    b.jal("fib")               # fib(n-1)
+    b.store(2, _SP, 8)
+    b.load(4, _SP, 4)
+    b.addi(4, 4, -2)
+    b.jal("fib")               # fib(n-2)
+    b.load(3, _SP, 8)
+    b.add(2, 2, 3)
+    b.load(4, _SP, 4)
+    b.load(_RA, _SP, 0)
+    b.addi(_SP, _SP, 12)
+    b.label("fib_done")
+    b.ret()
+    return b.build(entry="main")
+
+
+def mutual_recursion_kernel(depth: int = 30) -> Program:
+    """Two functions calling each other down to ``depth`` (r1 counts calls)."""
+    b = ProgramBuilder("mutual_recursion")
+    b.label("main")
+    b.li(_SP, _STACK_BASE)
+    b.li(1, 0)
+    b.li(4, depth)
+    b.jal("even_step")
+    b.halt()
+
+    for name, other in (("even_step", "odd_step"), ("odd_step", "even_step")):
+        b.label(name)
+        b.addi(1, 1, 1)
+        b.beqz(4, f"{name}_out")
+        b.addi(_SP, _SP, -4)
+        b.store(_RA, _SP, 0)
+        b.addi(4, 4, -1)
+        b.jal(other)
+        b.load(_RA, _SP, 0)
+        b.addi(_SP, _SP, 4)
+        b.label(f"{name}_out")
+        b.ret()
+    return b.build(entry="main")
+
+
+def stack_stress_kernel(depth: int = 64, repeats: int = 8) -> Program:
+    """A single-chain recursion to exactly ``depth``, repeated.
+
+    Designed to overflow any RAS shallower than ``depth``; used by the
+    stack-size sensitivity tests (the paper's overflow discussion).
+    """
+    b = ProgramBuilder("stack_stress")
+    b.label("main")
+    b.li(_SP, _STACK_BASE)
+    b.li(2, repeats)
+    b.label("again")
+    b.li(4, depth)
+    b.jal("dive")
+    b.addi(2, 2, -1)
+    b.bnez(2, "again")
+    b.halt()
+
+    b.label("dive")
+    b.beqz(4, "dive_out")
+    b.addi(_SP, _SP, -4)
+    b.store(_RA, _SP, 0)
+    b.addi(4, 4, -1)
+    b.jal("dive")
+    b.load(_RA, _SP, 0)
+    b.addi(_SP, _SP, 4)
+    b.label("dive_out")
+    b.ret()
+    return b.build(entry="main")
+
+
+def dispatch_kernel(iterations: int = 200, table_size: int = 8) -> Program:
+    """An interpreter-style dispatch loop through a jump table.
+
+    Each iteration advances an in-register LCG, indexes a table of case
+    handlers and jumps indirectly — a stream of hard-to-predict
+    JUMP_INDIRECTs with calls inside some handlers.
+    """
+    if table_size & (table_size - 1):
+        raise ValueError("table_size must be a power of two")
+    table_base = 0x40000
+    b = ProgramBuilder("dispatch")
+    b.label("main")
+    b.li(_SP, _STACK_BASE)
+    b.li(20, 0x2545F4914F6CDD1D)   # LCG state
+    b.li(21, 6364136223846793005)  # multiplier
+    b.li(2, iterations)
+    b.label("loop")
+    b.mul(20, 20, 21)
+    b.addi(20, 20, 1442695040888963407)
+    b.srli(22, 20, 33)
+    b.andi(22, 22, table_size - 1)
+    b.slli(22, 22, 2)
+    b.addi(22, 22, table_base)
+    b.load(22, 22, 0)
+    b.jr(22)
+    for case in range(table_size):
+        b.label(f"case_{case}")
+        b.put_data(table_base + case * 4, f"case_{case}")
+        b.addi(1, 1, case)
+        if case % 3 == 0:
+            b.jal("helper")
+        b.j("join")
+    b.label("join")
+    b.addi(2, 2, -1)
+    b.bnez(2, "loop")
+    b.halt()
+
+    b.label("helper")
+    b.addi(3, 3, 1)
+    b.ret()
+    return b.build(entry="main")
+
+
+def hanoi_kernel(disks: int = 7) -> Program:
+    """Towers of Hanoi: doubly recursive, move count in r1.
+
+    Depth reaches ``disks`` with two recursive calls per level —
+    2^disks - 1 moves, each a pair of call/return crossings.
+    """
+    b = ProgramBuilder("hanoi")
+    b.label("main")
+    b.li(_SP, _STACK_BASE)
+    b.li(1, 0)
+    b.li(4, disks)
+    b.jal("hanoi")
+    b.halt()
+
+    # hanoi(n in r4): if n == 0 return; hanoi(n-1); move; hanoi(n-1)
+    b.label("hanoi")
+    b.beqz(4, "hanoi_out")
+    b.addi(_SP, _SP, -8)
+    b.store(_RA, _SP, 0)
+    b.store(4, _SP, 4)
+    b.addi(4, 4, -1)
+    b.jal("hanoi")          # move n-1 to spare
+    b.addi(1, 1, 1)         # move disk n
+    b.load(4, _SP, 4)
+    b.addi(4, 4, -1)
+    b.jal("hanoi")          # move n-1 onto n
+    b.load(4, _SP, 4)
+    b.load(_RA, _SP, 0)
+    b.addi(_SP, _SP, 8)
+    b.label("hanoi_out")
+    b.ret()
+    return b.build(entry="main")
+
+
+def tree_sum_kernel(depth: int = 8) -> Program:
+    """Sum over a perfect binary tree of the given depth (result r2).
+
+    Node values are synthesised from the depth so the result is
+    checkable: every node contributes 1, so the sum is 2^(depth+1)-1.
+    """
+    b = ProgramBuilder("tree_sum")
+    b.label("main")
+    b.li(_SP, _STACK_BASE)
+    b.li(2, 0)
+    b.li(4, depth)
+    b.jal("node")
+    b.halt()
+
+    # node(level in r4): r2 += 1; if level: recurse left and right
+    b.label("node")
+    b.addi(2, 2, 1)
+    b.beqz(4, "node_out")
+    b.addi(_SP, _SP, -8)
+    b.store(_RA, _SP, 0)
+    b.store(4, _SP, 4)
+    b.addi(4, 4, -1)
+    b.jal("node")           # left child
+    b.load(4, _SP, 4)
+    b.addi(4, 4, -1)
+    b.jal("node")           # right child
+    b.load(4, _SP, 4)
+    b.load(_RA, _SP, 0)
+    b.addi(_SP, _SP, 8)
+    b.label("node_out")
+    b.ret()
+    return b.build(entry="main")
+
+
+def ackermann_kernel(m: int = 2, n: int = 3) -> Program:
+    """Ackermann's function (keep m <= 2!): extreme call/return churn.
+
+    ack(m, n) with m in r4, n in r5; result in r2. The classic
+    stress test for return-address stacks: the call depth varies
+    wildly and underflow/overflow both occur on small stacks.
+    """
+    if m > 3:
+        raise ValueError("m > 3 would explode; use m <= 3")
+    b = ProgramBuilder("ackermann")
+    b.label("main")
+    b.li(_SP, _STACK_BASE)
+    b.li(4, m)
+    b.li(5, n)
+    b.jal("ack")
+    b.halt()
+
+    # ack(m in r4, n in r5) -> r2
+    b.label("ack")
+    b.bnez(4, "ack_rec")
+    b.addi(2, 5, 1)          # m == 0 -> n + 1
+    b.ret()
+    b.label("ack_rec")
+    b.addi(_SP, _SP, -12)
+    b.store(_RA, _SP, 0)
+    b.store(4, _SP, 4)
+    b.bnez(5, "ack_inner")
+    b.addi(4, 4, -1)         # ack(m-1, 1)
+    b.li(5, 1)
+    b.jal("ack")
+    b.j("ack_done")
+    b.label("ack_inner")
+    b.store(5, _SP, 8)
+    b.addi(5, 5, -1)         # ack(m, n-1)
+    b.jal("ack")
+    b.load(4, _SP, 4)
+    b.addi(4, 4, -1)         # ack(m-1, ack(m, n-1))
+    b.add(5, 2, 0)
+    b.jal("ack")
+    b.label("ack_done")
+    b.load(4, _SP, 4)
+    b.load(_RA, _SP, 0)
+    b.addi(_SP, _SP, 12)
+    b.ret()
+    return b.build(entry="main")

@@ -1,0 +1,309 @@
+"""Per-benchmark behavioural profiles.
+
+Each profile parameterises the program generator so that the resulting
+synthetic program exhibits the control-flow character of one SPECint95
+benchmark as described in the literature: `li` is recursion-heavy with
+very frequent calls/returns, `go` has poorly predictable branches,
+`vortex` is call-dense with deep call chains, `ijpeg` is loop-dominated
+with few calls, `perl` dispatches through jump tables, and so on.
+
+The *data-dependent branch* knob works in bias bits: a branch tests
+``bits`` freshly generated LCG bits and is taken unless they are all
+zero, so its taken-probability is ``1 - 2**-bits``. ``bits = 1`` is a
+coin flip no history predictor can learn; large ``bits`` are strongly
+biased and easy. Each profile mixes easinesses to land near that
+benchmark's published conditional-branch misprediction rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+
+#: Weighted (bias_bits, weight) alternatives for data-dependent branches.
+BiasMix = Tuple[Tuple[int, float], ...]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator parameters for one synthetic benchmark."""
+
+    name: str
+    description: str
+    #: Static call-graph size (non-recursive functions).
+    num_functions: int
+    #: Basic blocks per function body (uniform range).
+    min_blocks: int
+    max_blocks: int
+    #: Plain ops per block (uniform range).
+    min_block_ops: int
+    max_block_ops: int
+    #: Probability that a non-leaf block contains a call.
+    call_density: float
+    #: Fraction of functions with no outgoing calls.
+    leaf_fraction: float
+    #: Probability a call site targets the lexically next function
+    #: (high locality builds deep call chains, as in vortex).
+    call_locality: float
+    #: Probability a block is wrapped in a counted loop.
+    loop_fraction: float
+    min_loop_trips: int
+    max_loop_trips: int
+    #: Mix of data-dependent branch biases (see module docstring).
+    data_branch_bias: BiasMix
+    #: Probability a block ends in a data-dependent branch over some ops.
+    data_branch_density: float
+    #: Fraction of functions with a data-dependent early return.
+    early_return_fraction: float
+    #: Number of self-recursive functions and their maximum depth.
+    recursive_functions: int
+    max_recursion_depth: int
+    #: Indirect (function-pointer) call sites across the program.
+    indirect_call_sites: int
+    #: Switch-style jump-table sites and their fan-out.
+    jump_table_sites: int
+    jump_table_size: int
+    #: Data words touched by random-access loads/stores.
+    mem_footprint_words: int
+    #: Probability a block op is a load/store instead of ALU work.
+    mem_op_density: float
+    #: Outer main-loop iterations at scale=1.0 (sets dynamic length).
+    outer_iterations: int
+
+    def __post_init__(self) -> None:
+        if self.num_functions < 2:
+            raise WorkloadError(f"{self.name}: need at least 2 functions")
+        if not 0.0 <= self.leaf_fraction < 1.0:
+            raise WorkloadError(f"{self.name}: leaf_fraction out of range")
+        if self.min_blocks > self.max_blocks or self.min_blocks < 1:
+            raise WorkloadError(f"{self.name}: bad block range")
+        if self.min_block_ops > self.max_block_ops or self.min_block_ops < 1:
+            raise WorkloadError(f"{self.name}: bad block-op range")
+        if self.recursive_functions and self.max_recursion_depth < 1:
+            raise WorkloadError(f"{self.name}: recursion needs depth >= 1")
+        if self.jump_table_sites and self.jump_table_size < 2:
+            raise WorkloadError(f"{self.name}: jump tables need >= 2 entries")
+        if not self.data_branch_bias:
+            raise WorkloadError(f"{self.name}: empty branch-bias mix")
+        if self.mem_footprint_words < 1:
+            raise WorkloadError(f"{self.name}: mem_footprint_words must be >= 1")
+
+
+#: Hard-to-predict mix (lots of coin flips) — go-like.
+_HARD = ((1, 0.55), (2, 0.25), (4, 0.20))
+#: Moderately predictable — gcc/compress-like.
+_MEDIUM = ((1, 0.2), (2, 0.25), (3, 0.25), (5, 0.3))
+#: Mostly easy — m88ksim/vortex-like.
+_EASY = ((2, 0.1), (4, 0.3), (6, 0.6))
+
+
+def _profiles() -> List[WorkloadProfile]:
+    return [
+        WorkloadProfile(
+            name="compress",
+            description="tight compression loops, moderate data-dependent branches",
+            num_functions=14,
+            min_blocks=3, max_blocks=7,
+            min_block_ops=4, max_block_ops=9,
+            call_density=0.30,
+            leaf_fraction=0.4,
+            call_locality=0.3,
+            loop_fraction=0.45,
+            min_loop_trips=3, max_loop_trips=10,
+            data_branch_bias=_MEDIUM,
+            data_branch_density=0.6,
+            early_return_fraction=0.3,
+            recursive_functions=0,
+            max_recursion_depth=1,
+            indirect_call_sites=0,
+            jump_table_sites=0,
+            jump_table_size=2,
+            mem_footprint_words=4096,
+            mem_op_density=0.35,
+            outer_iterations=28,
+        ),
+        WorkloadProfile(
+            name="gcc",
+            description="large irregular call graph, many branches",
+            num_functions=96,
+            min_blocks=2, max_blocks=8,
+            min_block_ops=3, max_block_ops=8,
+            call_density=0.35,
+            leaf_fraction=0.3,
+            call_locality=0.35,
+            loop_fraction=0.2,
+            min_loop_trips=2, max_loop_trips=6,
+            data_branch_bias=_MEDIUM,
+            data_branch_density=0.7,
+            early_return_fraction=0.45,
+            recursive_functions=2,
+            max_recursion_depth=8,
+            indirect_call_sites=4,
+            jump_table_sites=3,
+            jump_table_size=8,
+            mem_footprint_words=8192,
+            mem_op_density=0.3,
+            outer_iterations=50,
+        ),
+        WorkloadProfile(
+            name="go",
+            description="poorly predictable branches, moderate calls",
+            num_functions=40,
+            min_blocks=3, max_blocks=8,
+            min_block_ops=3, max_block_ops=8,
+            call_density=0.25,
+            leaf_fraction=0.35,
+            call_locality=0.3,
+            loop_fraction=0.15,
+            min_loop_trips=2, max_loop_trips=5,
+            data_branch_bias=_HARD,
+            data_branch_density=0.85,
+            early_return_fraction=0.4,
+            recursive_functions=1,
+            max_recursion_depth=6,
+            indirect_call_sites=0,
+            jump_table_sites=1,
+            jump_table_size=4,
+            mem_footprint_words=4096,
+            mem_op_density=0.25,
+            outer_iterations=22,
+        ),
+        WorkloadProfile(
+            name="ijpeg",
+            description="loop-dominated image kernels, few calls",
+            num_functions=10,
+            min_blocks=2, max_blocks=5,
+            min_block_ops=6, max_block_ops=12,
+            call_density=0.08,
+            leaf_fraction=0.5,
+            call_locality=0.5,
+            loop_fraction=0.7,
+            min_loop_trips=6, max_loop_trips=16,
+            data_branch_bias=_EASY,
+            data_branch_density=0.3,
+            early_return_fraction=0.1,
+            recursive_functions=0,
+            max_recursion_depth=1,
+            indirect_call_sites=0,
+            jump_table_sites=0,
+            jump_table_size=2,
+            mem_footprint_words=16384,
+            mem_op_density=0.45,
+            outer_iterations=20,
+        ),
+        WorkloadProfile(
+            name="li",
+            description="lisp interpreter: deep recursion, call/return dense",
+            num_functions=24,
+            min_blocks=2, max_blocks=4,
+            min_block_ops=2, max_block_ops=5,
+            call_density=0.5,
+            leaf_fraction=0.25,
+            call_locality=0.4,
+            loop_fraction=0.1,
+            min_loop_trips=2, max_loop_trips=4,
+            data_branch_bias=_MEDIUM,
+            data_branch_density=0.55,
+            early_return_fraction=0.5,
+            recursive_functions=4,
+            max_recursion_depth=24,
+            indirect_call_sites=2,
+            jump_table_sites=0,
+            jump_table_size=2,
+            mem_footprint_words=2048,
+            mem_op_density=0.3,
+            outer_iterations=50,
+        ),
+        WorkloadProfile(
+            name="m88ksim",
+            description="CPU simulator: predictable branches, moderate calls",
+            num_functions=30,
+            min_blocks=2, max_blocks=6,
+            min_block_ops=4, max_block_ops=9,
+            call_density=0.28,
+            leaf_fraction=0.4,
+            call_locality=0.45,
+            loop_fraction=0.35,
+            min_loop_trips=3, max_loop_trips=8,
+            data_branch_bias=_EASY,
+            data_branch_density=0.5,
+            early_return_fraction=0.3,
+            recursive_functions=0,
+            max_recursion_depth=1,
+            indirect_call_sites=1,
+            jump_table_sites=1,
+            jump_table_size=8,
+            mem_footprint_words=4096,
+            mem_op_density=0.3,
+            outer_iterations=35,
+        ),
+        WorkloadProfile(
+            name="perl",
+            description="interpreter dispatch through jump tables, recursion",
+            num_functions=36,
+            min_blocks=2, max_blocks=6,
+            min_block_ops=3, max_block_ops=7,
+            call_density=0.4,
+            leaf_fraction=0.3,
+            call_locality=0.35,
+            loop_fraction=0.15,
+            min_loop_trips=2, max_loop_trips=5,
+            data_branch_bias=_MEDIUM,
+            data_branch_density=0.5,
+            early_return_fraction=0.4,
+            recursive_functions=2,
+            max_recursion_depth=12,
+            indirect_call_sites=4,
+            jump_table_sites=4,
+            jump_table_size=16,
+            mem_footprint_words=4096,
+            mem_op_density=0.3,
+            outer_iterations=30,
+        ),
+        WorkloadProfile(
+            name="vortex",
+            description="OO database: call-dense, deep call chains, easy branches",
+            num_functions=64,
+            min_blocks=2, max_blocks=5,
+            min_block_ops=3, max_block_ops=7,
+            call_density=0.55,
+            leaf_fraction=0.2,
+            call_locality=0.85,
+            loop_fraction=0.15,
+            min_loop_trips=2, max_loop_trips=4,
+            data_branch_bias=_EASY,
+            data_branch_density=0.45,
+            early_return_fraction=0.35,
+            recursive_functions=1,
+            max_recursion_depth=10,
+            indirect_call_sites=3,
+            jump_table_sites=0,
+            jump_table_size=2,
+            mem_footprint_words=8192,
+            mem_op_density=0.35,
+            outer_iterations=32,
+        ),
+    ]
+
+
+_PROFILE_MAP: Dict[str, WorkloadProfile] = {p.name: p for p in _profiles()}
+
+#: The eight SPECint95 benchmark names, in the paper's order.
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(_PROFILE_MAP)
+
+
+def profile_for(name: str) -> WorkloadProfile:
+    """Return the profile for benchmark ``name`` (KeyError-safe)."""
+    try:
+        return _PROFILE_MAP[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {sorted(_PROFILE_MAP)}"
+        ) from None
+
+
+def all_profiles() -> List[WorkloadProfile]:
+    """Return every benchmark profile in canonical order."""
+    return [_PROFILE_MAP[name] for name in BENCHMARK_NAMES]

@@ -1,0 +1,83 @@
+"""A small deterministic PRNG for workload generation.
+
+We avoid :mod:`random` so that generated programs are bit-identical
+across Python versions and platforms: reproducibility of the *inputs*
+is as important as reproducibility of the results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+_MASK64 = (1 << 64) - 1
+_MULTIPLIER = 6364136223846793005
+_INCREMENT = 1442695040888963407
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """A 64-bit LCG with convenience sampling helpers."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed ^ 0x9E3779B97F4A7C15) & _MASK64
+        # Warm up so nearby seeds diverge immediately.
+        for _ in range(4):
+            self._next()
+
+    def _next(self) -> int:
+        self.state = (self.state * _MULTIPLIER + _INCREMENT) & _MASK64
+        return self.state
+
+    def bits(self, count: int) -> int:
+        """Return ``count`` pseudo-random bits (uses the high-quality bits)."""
+        return self._next() >> (64 - count)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.bits(48) % span
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self.bits(53) / (1 << 53)
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli trial."""
+        return self.random() < probability
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def weighted_choice(self, weighted_items: Sequence[Tuple[T, float]]) -> T:
+        """Pick an item with probability proportional to its weight."""
+        total = sum(weight for _, weight in weighted_items)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        point = self.random() * total
+        running = 0.0
+        for item, weight in weighted_items:
+            running += weight
+            if point < running:
+                return item
+        return weighted_items[-1][0]
+
+    def shuffle(self, items: List[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for index in range(len(items) - 1, 0, -1):
+            other = self.randint(0, index)
+            items[index], items[other] = items[other], items[index]
+
+    def sample_indices(self, population: int, count: int) -> List[int]:
+        """Return ``count`` distinct indices from range(population)."""
+        if count > population:
+            raise ValueError("sample larger than population")
+        indices = list(range(population))
+        self.shuffle(indices)
+        return indices[:count]

@@ -1,0 +1,155 @@
+"""Unit tests for the analysis instruments and the target cache."""
+
+import pytest
+
+from repro.analysis import CorruptionAnalyzer, compare_return_predictors
+from repro.analysis.corruption import CATEGORIES, CorruptionBreakdown
+from repro.bpred.target_cache import TargetCache
+from repro.config import RepairMechanism, baseline_config
+from repro.workloads import build_workload
+from repro.workloads.kernels import fibonacci_kernel, loop_sum_kernel
+
+
+class TestTargetCache:
+    def test_cold_miss(self):
+        cache = TargetCache(entries=64)
+        assert cache.predict(100) is None
+
+    def test_single_target_learned(self):
+        cache = TargetCache(entries=64, history_targets=0)
+        cache.update(100, 400)
+        assert cache.predict(100) == 400
+
+    def test_history_distinguishes_contexts(self):
+        """With target history, the same return PC maps to different
+        table entries depending on the recent-target path — so two
+        alternating callers can both be predicted correctly."""
+        cache = TargetCache(entries=256, history_targets=2)
+        # Simulate: call from A (target X) then return to A'; call from
+        # B (target X) then return to B'. The call's target update
+        # shifts history, contextualising the return.
+        for _ in range(8):
+            cache.update(40, 100)    # call site A -> f
+            cache.update(200, 44)    # return, seen after A's call
+            cache.update(80, 100)    # call site B -> f
+            cache.update(200, 84)    # return, seen after B's call
+        # Continue the same pattern, predicting before each update.
+        cache.update(40, 100)
+        assert cache.predict(200) == 44
+        cache.update(200, 44)
+        cache.update(80, 100)
+        assert cache.predict(200) == 84
+
+    def test_no_history_cannot_distinguish(self):
+        cache = TargetCache(entries=256, history_targets=0)
+        for _ in range(4):
+            cache.update(200, 44)
+            cache.update(200, 84)
+        # Only the last target survives.
+        assert cache.predict(200) == 84
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TargetCache(entries=100)
+        with pytest.raises(ValueError):
+            TargetCache(history_targets=-1)
+        with pytest.raises(ValueError):
+            TargetCache(bits_per_target=0)
+
+    def test_stats(self):
+        # history_targets=0 so the update does not move the index.
+        cache = TargetCache(entries=64, history_targets=0)
+        cache.predict(0)
+        cache.update(0, 40)
+        cache.predict(0)
+        assert cache.stats["lookups"].value == 2
+        assert cache.stats["hits"].value == 1
+
+
+class TestCorruptionBreakdown:
+    def test_empty(self):
+        b = CorruptionBreakdown()
+        assert b.fraction("clean") is None
+        assert b.implied_hit_rate(RepairMechanism.FULL_STACK) is None
+
+    def test_implied_hit_rates_accumulate(self):
+        b = CorruptionBreakdown()
+        for category, count in (("clean", 6), ("needs_pointer", 2),
+                                ("needs_contents", 1), ("needs_full", 1)):
+            for _ in range(count):
+                b.record(category)
+        assert b.implied_hit_rate(RepairMechanism.NONE) == pytest.approx(0.6)
+        assert b.implied_hit_rate(
+            RepairMechanism.TOS_POINTER) == pytest.approx(0.8)
+        assert b.implied_hit_rate(
+            RepairMechanism.TOS_POINTER_AND_CONTENTS) == pytest.approx(0.9)
+        assert b.implied_hit_rate(
+            RepairMechanism.FULL_STACK) == pytest.approx(1.0)
+
+    def test_rows_cover_all_categories(self):
+        b = CorruptionBreakdown()
+        b.record("clean")
+        rows = b.as_rows()
+        assert [row[0] for row in rows] == list(CATEGORIES)
+
+
+class TestCorruptionAnalyzer:
+    def test_loop_kernel_is_clean(self):
+        """No calls -> no returns -> empty breakdown."""
+        breakdown = CorruptionAnalyzer(loop_sum_kernel(100)).run()
+        assert breakdown.returns == 0
+
+    def test_fibonacci_mostly_clean(self):
+        breakdown = CorruptionAnalyzer(fibonacci_kernel(10)).run()
+        assert breakdown.returns > 0
+        assert breakdown.counts["unrepairable"] == 0
+
+    def test_paper_shape_on_real_workload(self):
+        """needs_full + unrepairable must be a small tail — the paper's
+        quantitative argument for pointer+contents."""
+        program = build_workload("li", seed=1, scale=0.15)
+        breakdown = CorruptionAnalyzer(
+            program, baseline_config().predictor).run()
+        assert breakdown.returns > 100
+        tail = (breakdown.fraction("needs_full") or 0) + (
+            breakdown.fraction("unrepairable") or 0)
+        assert tail < 0.05
+        implied = breakdown.implied_hit_rate(
+            RepairMechanism.TOS_POINTER_AND_CONTENTS)
+        assert implied > 0.95
+
+    def test_implied_rates_are_monotone(self):
+        program = build_workload("go", seed=2, scale=0.1)
+        breakdown = CorruptionAnalyzer(program).run()
+        ptr = breakdown.implied_hit_rate(RepairMechanism.TOS_POINTER)
+        contents = breakdown.implied_hit_rate(
+            RepairMechanism.TOS_POINTER_AND_CONTENTS)
+        full = breakdown.implied_hit_rate(RepairMechanism.FULL_STACK)
+        assert ptr <= contents <= full
+
+    def test_no_wrong_path_means_all_clean(self):
+        program = build_workload("vortex", seed=1, scale=0.1)
+        breakdown = CorruptionAnalyzer(
+            program, wrong_path_instructions=0).run()
+        assert breakdown.fraction("clean") == pytest.approx(1.0)
+
+
+class TestReturnPredictorComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        program = build_workload("vortex", seed=1, scale=0.15)
+        return compare_return_predictors(program)
+
+    def test_ras_is_nearly_perfect(self, comparison):
+        assert comparison.accuracy["ras"] > 0.99
+
+    def test_history_helps_target_cache(self, comparison):
+        assert (comparison.accuracy["target-cache-h4"]
+                >= comparison.accuracy["target-cache-h0"])
+
+    def test_general_predictors_fall_short_of_ras(self, comparison):
+        """The paper's related-work claim, measured."""
+        assert comparison.best_general() < comparison.accuracy["ras"] - 0.1
+
+    def test_return_count_positive(self, comparison):
+        assert comparison.returns > 100

@@ -1,0 +1,72 @@
+"""Unit tests for the plain-text chart helpers."""
+
+import pytest
+
+from repro.stats.ascii_charts import grouped_bars, hbar_chart, sparkline
+
+
+class TestHbar:
+    def test_basic_shape(self):
+        text = hbar_chart(["aa", "b"], [1.0, 0.5], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        text = hbar_chart(["long-label", "x"], [1, 1], width=4)
+        starts = [line.index("|") for line in text.splitlines()]
+        assert starts[0] == starts[1]
+
+    def test_max_value_override(self):
+        text = hbar_chart(["a"], [50], width=10, max_value=100)
+        assert text.count("#") == 5
+
+    def test_values_capped_at_width(self):
+        text = hbar_chart(["a"], [200], width=10, max_value=100)
+        assert text.count("#") == 10
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [1, 2])
+
+    def test_empty(self):
+        assert hbar_chart([], []) == "(no data)"
+
+    def test_all_zero_does_not_crash(self):
+        text = hbar_chart(["a"], [0.0], width=8)
+        assert "#" not in text
+
+
+class TestGroupedBars:
+    def test_groups_and_series(self):
+        text = grouped_bars(
+            ["g1", "g2"],
+            {"s1": [1, 2], "s2": [2, 1]},
+            width=8,
+        )
+        assert text.count("g1:") == 1
+        assert text.count("s1") == 2
+
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            grouped_bars(["g1"], {"s": [1, 2]})
+
+    def test_empty(self):
+        assert grouped_bars([], {}) == "(no data)"
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "###"
+
+    def test_monotone_rises(self):
+        strip = sparkline([0, 1, 2, 3], levels=" ab")
+        assert strip[0] == " "
+        assert strip[-1] == "b"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,96 @@
+"""Unit tests for the cache model and hierarchy."""
+
+import pytest
+
+from repro.caches import Cache, MemoryHierarchy
+from repro.config import CacheConfig, MemoryHierarchyConfig
+
+
+def tiny_cache(size=256, assoc=2, line=64, latency=1, name="t"):
+    return Cache(CacheConfig(name, size, assoc, line, latency))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = tiny_cache()
+        assert not c.access(0)
+        assert c.access(0)
+
+    def test_same_line_hits(self):
+        c = tiny_cache(line=64)
+        c.access(0)
+        assert c.access(63)
+        assert not c.access(64)
+
+    def test_lru_within_set(self):
+        # 256B, 2-way, 64B lines -> 2 sets; lines 0,2,4 map to set 0.
+        c = tiny_cache(size=256, assoc=2, line=64)
+        c.access(0)        # line 0
+        c.access(128)      # line 2, same set
+        c.access(0)        # refresh line 0
+        c.access(256)      # line 4 evicts line 2
+        assert c.probe(0)
+        assert not c.probe(128)
+        assert c.probe(256)
+
+    def test_sets_partition_addresses(self):
+        c = tiny_cache(size=256, assoc=2, line=64)
+        c.access(0)      # set 0
+        c.access(64)     # set 1
+        assert c.probe(0) and c.probe(64)
+
+    def test_miss_rate(self):
+        c = tiny_cache()
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == pytest.approx(0.5)
+
+    def test_same_line_helper(self):
+        c = tiny_cache(line=64)
+        assert c.same_line(0, 63)
+        assert not c.same_line(0, 64)
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        return MemoryHierarchy(MemoryHierarchyConfig(
+            l1i=CacheConfig("l1i", 256, 2, 64, 1),
+            l1d=CacheConfig("l1d", 256, 2, 64, 3),
+            l2=CacheConfig("l2", 1024, 2, 64, 10),
+            memory_latency=50,
+        ))
+
+    def test_instruction_fetch_latencies(self):
+        h = self._hierarchy()
+        # cold: L1 miss + L2 miss -> 1 + 10 + 50
+        assert h.fetch_instruction(0) == 61
+        # warm L1
+        assert h.fetch_instruction(0) == 1
+
+    def test_l2_hit_path(self):
+        h = self._hierarchy()
+        h.fetch_instruction(0)
+        # Evict line 0 from tiny L1I (set 0 holds lines 0,2,4,...):
+        h.fetch_instruction(128)
+        h.fetch_instruction(256)
+        # line 0 gone from L1, still in L2 -> 1 + 10
+        assert h.fetch_instruction(0) == 11
+
+    def test_data_and_instruction_caches_are_split(self):
+        h = self._hierarchy()
+        h.fetch_instruction(0)
+        # data access to the same address still misses L1D, hits L2.
+        assert h.access_data(0) == 3 + 10
+
+    def test_store_allocates(self):
+        h = self._hierarchy()
+        h.access_data(0, is_store=True)
+        assert h.access_data(0) == 3
+
+    def test_wrong_path_pollution_possible(self):
+        """Accesses always update cache state — there is no magic
+        'speculative' bypass, which is precisely the paper's point about
+        modelling mis-speculation effects."""
+        h = self._hierarchy()
+        h.access_data(0)     # pretend this was a wrong-path access
+        assert h.l1d.probe(0)

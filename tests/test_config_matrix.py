@@ -1,0 +1,136 @@
+"""Golden equivalence across machine-geometry extremes.
+
+The timing model must stay functionally transparent on narrow, wide,
+tiny-window and cache-starved machines alike — these are the configs
+where structural-hazard code paths (full RUU, full LSQ, single-issue)
+actually execute.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import CacheConfig, CoreConfig, MachineConfig, baseline_config
+from repro.emu import Emulator
+from repro.multipath import MultipathCPU
+from repro.pipeline import SinglePathCPU
+from repro.workloads import build_workload
+from repro.workloads.kernels import fibonacci_kernel
+
+
+def narrow_machine():
+    return dataclasses.replace(
+        baseline_config(),
+        core=CoreConfig(
+            fetch_width=1, decode_width=1, issue_width=1, commit_width=1,
+            ifq_size=2, ruu_size=4, lsq_size=2,
+            int_alus=1, int_multipliers=1, memory_ports=1,
+            frontend_depth=0,
+        ),
+    )
+
+
+def wide_machine():
+    return dataclasses.replace(
+        baseline_config(),
+        core=CoreConfig(
+            fetch_width=8, decode_width=8, issue_width=8, commit_width=8,
+            ifq_size=32, ruu_size=128, lsq_size=64,
+            int_alus=8, int_multipliers=2, memory_ports=4,
+            frontend_depth=6,
+        ),
+    )
+
+
+def tiny_cache_machine():
+    base = baseline_config()
+    return dataclasses.replace(
+        base,
+        memory=dataclasses.replace(
+            base.memory,
+            l1i=CacheConfig("l1i", 512, 1, 64, 1),
+            l1d=CacheConfig("l1d", 512, 1, 64, 3),
+            l2=CacheConfig("l2", 4096, 2, 64, 12),
+        ),
+    )
+
+
+def golden(program):
+    return [(r.pc, r.next_pc) for r in Emulator(program).trace()]
+
+
+def committed(cpu_class, program, config):
+    stream = []
+    cpu = cpu_class(program, config, commit_hook=lambda e: stream.append(
+        (e.pc, e.pc if e.outcome.is_halt else e.outcome.next_pc)))
+    result = cpu.run()
+    return stream, result
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_workload("go", seed=3, scale=0.05)
+
+
+class TestGeometryExtremes:
+    @pytest.mark.parametrize("factory", [
+        narrow_machine, wide_machine, tiny_cache_machine,
+    ], ids=["narrow", "wide", "tiny-cache"])
+    def test_single_path_golden(self, program, factory):
+        stream, _ = committed(SinglePathCPU, program, factory())
+        assert stream == golden(program)
+
+    def test_narrow_machine_is_slower(self, program):
+        _, narrow = committed(SinglePathCPU, program, narrow_machine())
+        _, wide = committed(SinglePathCPU, program, wide_machine())
+        assert narrow.ipc < wide.ipc
+
+    def test_tiny_caches_add_misses_not_errors(self, program):
+        _, starved = committed(SinglePathCPU, program, tiny_cache_machine())
+        _, normal = committed(SinglePathCPU, program, baseline_config())
+        assert starved.counter("l1i_misses") > normal.counter("l1i_misses")
+        assert starved.ipc < normal.ipc
+
+    def test_multipath_on_narrow_machine(self):
+        from repro.config import StackOrganization
+        program = fibonacci_kernel(8)
+        config = narrow_machine().with_multipath(
+            2, StackOrganization.PER_PATH)
+        stream, _ = committed(MultipathCPU, program, config)
+        assert stream == golden(program)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_stats(self, program):
+        results = []
+        for _ in range(2):
+            cpu = SinglePathCPU(program, baseline_config())
+            result = cpu.run()
+            results.append((result.cycles, result.instructions,
+                            result.counter("mispredictions"),
+                            result.counter("squashed"),
+                            result.return_accuracy))
+        assert results[0] == results[1]
+
+    def test_multipath_deterministic(self):
+        from repro.config import StackOrganization
+        program = build_workload("li", seed=5, scale=0.05)
+        config = baseline_config().with_multipath(
+            4, StackOrganization.PER_PATH)
+        first = MultipathCPU(program, config).run()
+        second = MultipathCPU(program, config).run()
+        assert first.cycles == second.cycles
+        assert first.counter("forks") == second.counter("forks")
+
+    def test_fastsim_final_state_matches_emulator(self):
+        from repro.fastsim import FastFrontEndSim
+        program = fibonacci_kernel(9)
+        emulator = Emulator(program)
+        emulator.run()
+        sim = FastFrontEndSim(program)
+        sim.run()
+        # The fast model executes the architectural path only — wrong-
+        # path walks are front-end-only — so its final state must equal
+        # the emulator's exactly.
+        assert sim.final_state is not None
+        assert sim.final_state.regs == emulator.state.regs

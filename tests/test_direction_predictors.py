@@ -1,0 +1,104 @@
+"""Unit tests for the alternative direction predictors and the factory."""
+
+import dataclasses
+
+import pytest
+
+from repro.bpred import (
+    BimodalPredictor,
+    FrontEndPredictor,
+    GsharePredictor,
+    HybridPredictor,
+    make_direction_predictor,
+)
+from repro.config import BranchPredictorConfig
+from repro.errors import ConfigError
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        p = BimodalPredictor(entries=64)
+        for _ in range(5):
+            p.update(0, True)
+            p.update(4, False)
+        assert p.predict(0)
+        assert not p.predict(4)
+
+    def test_cannot_learn_alternation(self):
+        """No history: a T/NT alternation pins the counter mid-range
+        and accuracy hovers at chance."""
+        p = BimodalPredictor(entries=64)
+        outcome = True
+        correct = 0
+        for i in range(200):
+            if i >= 100 and p.predict(8) == outcome:
+                correct += 1
+            p.update(8, outcome)
+            outcome = not outcome
+        assert correct <= 60
+
+
+class TestGshare:
+    def test_learns_alternation(self):
+        p = GsharePredictor(entries=256)
+        outcome = True
+        correct = 0
+        for i in range(400):
+            if i >= 200 and p.predict(8) == outcome:
+                correct += 1
+            p.update(8, outcome)
+            outcome = not outcome
+        assert correct == 200
+
+    def test_opposite_biases_learned_in_context(self):
+        """Two opposite-biased branches trained in a fixed alternation:
+        predicting each at its own point in the pattern must recover its
+        bias (the XOR separates them even though they share history)."""
+        p = GsharePredictor(entries=256)
+        for _ in range(100):
+            p.update(0, True)
+            p.update(4, False)
+        # Continue the pattern, predicting just before each update.
+        assert p.predict(0) is True
+        p.update(0, True)
+        assert p.predict(4) is False
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,expected", [
+        ("hybrid", HybridPredictor),
+        ("gshare", GsharePredictor),
+        ("bimodal", BimodalPredictor),
+    ])
+    def test_kinds(self, kind, expected):
+        config = dataclasses.replace(
+            BranchPredictorConfig(), direction_kind=kind)
+        assert isinstance(make_direction_predictor(config), expected)
+
+    def test_unknown_kind_rejected_by_config(self):
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(direction_kind="nonesuch")
+
+    def test_facade_uses_configured_kind(self):
+        config = dataclasses.replace(
+            BranchPredictorConfig(
+                gag_entries=64, pag_history_entries=64,
+                pag_history_bits=6, selector_entries=64,
+                btb_sets=16, btb_assoc=2, ras_entries=8),
+            direction_kind="bimodal")
+        frontend = FrontEndPredictor(config)
+        assert isinstance(frontend.direction, BimodalPredictor)
+
+    def test_facade_trains_non_hybrid_without_error(self):
+        from repro.isa import Instruction, Opcode
+        config = dataclasses.replace(
+            BranchPredictorConfig(
+                gag_entries=64, pag_history_entries=64,
+                pag_history_bits=6, selector_entries=64,
+                btb_sets=16, btb_assoc=2, ras_entries=8),
+            direction_kind="gshare")
+        frontend = FrontEndPredictor(config)
+        branch = Instruction(Opcode.BNEZ, rs=1, target=64)
+        p = frontend.predict(0, branch)
+        frontend.train_commit(0, branch, taken=True, target=64, prediction=p)
+        assert frontend.cond_accuracy is not None

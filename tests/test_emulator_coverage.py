@@ -1,0 +1,152 @@
+"""Exhaustive opcode-semantics coverage for the execution core."""
+
+import pytest
+
+from repro.emu import MachineState, execute
+from repro.emu.machine_state import to_signed, to_unsigned
+from repro.isa import Instruction, Opcode, REG_RA
+
+
+def make_state(**regs):
+    state = MachineState()
+    for name, value in regs.items():
+        state.regs[int(name[1:])] = to_unsigned(value)
+    return state
+
+
+def run_one(inst, pc=0, state=None):
+    state = state or MachineState()
+    outcome = execute(inst, pc, state)
+    return outcome, state
+
+
+class TestAluRegisterRegister:
+    @pytest.mark.parametrize("opcode,a,b,expected", [
+        (Opcode.ADD, 7, 5, 12),
+        (Opcode.SUB, 7, 5, 2),
+        (Opcode.AND, 0b1100, 0b1010, 0b1000),
+        (Opcode.OR, 0b1100, 0b1010, 0b1110),
+        (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+        (Opcode.SLL, 3, 4, 48),
+        (Opcode.SRL, 48, 4, 3),
+        (Opcode.MUL, 6, 7, 42),
+    ])
+    def test_semantics(self, opcode, a, b, expected):
+        state = make_state(r1=a, r2=b)
+        execute(Instruction(opcode, rd=3, rs=1, rt=2), 0, state)
+        assert state.regs[3] == expected
+
+    def test_shift_amount_masked_to_six_bits(self):
+        state = make_state(r1=1, r2=65)   # shifts by 65 & 63 == 1
+        execute(Instruction(Opcode.SLL, rd=3, rs=1, rt=2), 0, state)
+        assert state.regs[3] == 2
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (1, 2, 1), (2, 1, 0), (-1, 1, 1), (1, -1, 0), (-2, -1, 1),
+    ])
+    def test_slt_signed_comparison(self, a, b, expected):
+        state = make_state(r1=a, r2=b)
+        execute(Instruction(Opcode.SLT, rd=3, rs=1, rt=2), 0, state)
+        assert state.regs[3] == expected
+
+
+class TestAluImmediate:
+    @pytest.mark.parametrize("opcode,a,imm,expected", [
+        (Opcode.ADDI, 10, -3, 7),
+        (Opcode.ANDI, 0b1111, 0b0101, 0b0101),
+        (Opcode.XORI, 0b1111, 0b0101, 0b1010),
+        (Opcode.SLLI, 3, 2, 12),
+        (Opcode.SRLI, 12, 2, 3),
+    ])
+    def test_semantics(self, opcode, a, imm, expected):
+        state = make_state(r1=a)
+        execute(Instruction(opcode, rd=3, rs=1, imm=imm), 0, state)
+        assert state.regs[3] == expected
+
+    def test_li_large_value(self):
+        state = MachineState()
+        execute(Instruction(Opcode.LI, rd=3, imm=(1 << 70) + 5), 0, state)
+        assert state.regs[3] == ((1 << 70) + 5) & ((1 << 64) - 1)
+
+
+class TestBranches:
+    @pytest.mark.parametrize("opcode,value,taken", [
+        (Opcode.BEQZ, 0, True), (Opcode.BEQZ, 1, False),
+        (Opcode.BNEZ, 0, False), (Opcode.BNEZ, 1, True),
+        (Opcode.BLTZ, -1, True), (Opcode.BLTZ, 0, False),
+        (Opcode.BLTZ, 1, False),
+        (Opcode.BGEZ, -1, False), (Opcode.BGEZ, 0, True),
+        (Opcode.BGEZ, 1, True),
+    ])
+    def test_conditions(self, opcode, value, taken):
+        state = make_state(r1=value)
+        outcome, _ = run_one(
+            Instruction(opcode, rs=1, target=100), pc=0, state=state)
+        assert outcome.taken is taken
+        assert outcome.next_pc == (100 if taken else 4)
+
+
+class TestJumpsAndCalls:
+    def test_j(self):
+        outcome, _ = run_one(Instruction(Opcode.J, target=96), pc=8)
+        assert outcome.taken and outcome.next_pc == 96
+
+    def test_jal_links(self):
+        outcome, state = run_one(Instruction(Opcode.JAL, target=96), pc=8)
+        assert outcome.next_pc == 96
+        assert state.regs[REG_RA] == 12
+
+    def test_jr(self):
+        state = make_state(r5=200)
+        outcome, _ = run_one(Instruction(Opcode.JR, rs=5), pc=8, state=state)
+        assert outcome.next_pc == 200
+
+    def test_jalr_links_and_jumps(self):
+        state = make_state(r5=200)
+        outcome, state = run_one(
+            Instruction(Opcode.JALR, rs=5), pc=8, state=state)
+        assert outcome.next_pc == 200
+        assert state.regs[REG_RA] == 12
+
+    def test_jalr_through_ra_itself(self):
+        """JALR with rs=r31: the target must be read before the link
+        register is overwritten."""
+        state = make_state(r31=300)
+        outcome, state = run_one(
+            Instruction(Opcode.JALR, rs=REG_RA), pc=8, state=state)
+        assert outcome.next_pc == 300
+        assert state.regs[REG_RA] == 12
+
+    def test_ret(self):
+        state = make_state(r31=64)
+        outcome, _ = run_one(Instruction(Opcode.RET), pc=8, state=state)
+        assert outcome.next_pc == 64
+        assert outcome.taken
+
+
+class TestMemoryAndMisc:
+    def test_load_offset_negative(self):
+        state = make_state(r1=0x1000)
+        state.write_mem(0x0FFC, 55)
+        execute(Instruction(Opcode.LOAD, rd=2, rs=1, imm=-4), 0, state)
+        assert state.regs[2] == 55
+
+    def test_store_address_reported(self):
+        state = make_state(r1=0x1000, r2=9)
+        outcome = execute(
+            Instruction(Opcode.STORE, rt=2, rs=1, imm=8), 0, state)
+        assert outcome.mem_address == 0x1008
+        assert state.read_mem(0x1008) == 9
+
+    def test_nop(self):
+        outcome, state = run_one(Instruction(Opcode.NOP), pc=20)
+        assert outcome.next_pc == 24
+        assert not outcome.taken
+
+    def test_halt(self):
+        outcome, _ = run_one(Instruction(Opcode.HALT), pc=20)
+        assert outcome.is_halt
+
+    def test_signed_helpers_roundtrip_extremes(self):
+        for value in (0, 1, -1, 2 ** 63 - 1, -(2 ** 63)):
+            assert to_signed(to_unsigned(value)) == value

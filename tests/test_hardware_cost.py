@@ -1,0 +1,69 @@
+"""Unit tests for the hardware-cost model."""
+
+import pytest
+
+from repro.analysis import cost_table, mechanism_costs
+from repro.config import BranchPredictorConfig, RepairMechanism
+
+
+def costs_by_mechanism(config=None, **kwargs):
+    config = config or BranchPredictorConfig()
+    return {cost.mechanism: cost
+            for cost in mechanism_costs(config, **kwargs)}
+
+
+class TestMechanismCosts:
+    def test_none_is_free(self):
+        costs = costs_by_mechanism()
+        assert costs[RepairMechanism.NONE].total_bits(20) == 0
+
+    def test_pointer_is_several_bits(self):
+        """The paper: 'Saving the TOS pointer merely adds several bits
+        per branch.'"""
+        costs = costs_by_mechanism()  # 32-entry stack
+        assert costs[RepairMechanism.TOS_POINTER].bits_per_checkpoint == 5
+
+    def test_contents_adds_one_address(self):
+        costs = costs_by_mechanism()
+        pointer = costs[RepairMechanism.TOS_POINTER].bits_per_checkpoint
+        contents = costs[
+            RepairMechanism.TOS_POINTER_AND_CONTENTS].bits_per_checkpoint
+        assert contents == pointer + 64
+
+    def test_full_stack_scales_with_entries(self):
+        small = costs_by_mechanism(BranchPredictorConfig(ras_entries=8))
+        large = costs_by_mechanism(BranchPredictorConfig(ras_entries=64))
+        assert (large[RepairMechanism.FULL_STACK].bits_per_checkpoint
+                > 4 * small[RepairMechanism.FULL_STACK].bits_per_checkpoint)
+
+    def test_cost_ordering_matches_capability(self):
+        """More repair capability never costs fewer checkpoint bits."""
+        costs = costs_by_mechanism()
+        assert (costs[RepairMechanism.NONE].bits_per_checkpoint
+                < costs[RepairMechanism.TOS_POINTER].bits_per_checkpoint
+                < costs[RepairMechanism.TOS_POINTER_AND_CONTENTS]
+                .bits_per_checkpoint
+                < costs[RepairMechanism.FULL_STACK].bits_per_checkpoint)
+
+    def test_self_checkpoint_pays_in_stack_not_shadow(self):
+        """Jourdan-style: tiny per-branch cost, big stack cost — the
+        paper's 'requires a larger number of stack entries'."""
+        costs = costs_by_mechanism()
+        self_ck = costs[RepairMechanism.SELF_CHECKPOINT]
+        full = costs[RepairMechanism.FULL_STACK]
+        assert self_ck.bits_per_checkpoint < full.bits_per_checkpoint / 10
+        assert self_ck.extra_stack_bits > 1000
+
+    def test_address_width_parameter(self):
+        narrow = costs_by_mechanism(address_bits=32)
+        wide = costs_by_mechanism(address_bits=64)
+        assert (narrow[RepairMechanism.FULL_STACK].bits_per_checkpoint
+                < wide[RepairMechanism.FULL_STACK].bits_per_checkpoint)
+
+    def test_cost_table_shape(self):
+        rows = cost_table(BranchPredictorConfig())
+        assert len(rows) == len(RepairMechanism)
+        assert all(len(row) == 4 for row in rows)
+        # totals are consistent with the per-part columns
+        for mechanism, per_branch, stack_extra, total in rows:
+            assert total == per_branch * 20 + stack_extra

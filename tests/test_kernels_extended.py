@@ -1,0 +1,93 @@
+"""Tests for the recursive stress kernels, functionally and on the CPU."""
+
+import pytest
+
+from repro.config import RepairMechanism, baseline_config
+from repro.emu import Emulator
+from repro.pipeline import SinglePathCPU
+from repro.workloads import (
+    ackermann_kernel,
+    hanoi_kernel,
+    tree_sum_kernel,
+)
+
+
+class TestFunctionalResults:
+    @pytest.mark.parametrize("disks,expected", [(3, 7), (5, 31), (7, 127)])
+    def test_hanoi_move_count(self, disks, expected):
+        emulator = Emulator(hanoi_kernel(disks))
+        emulator.run()
+        assert emulator.state.regs[1] == expected
+
+    @pytest.mark.parametrize("depth,expected", [(0, 1), (3, 15), (8, 511)])
+    def test_tree_sum(self, depth, expected):
+        emulator = Emulator(tree_sum_kernel(depth))
+        emulator.run()
+        assert emulator.state.regs[2] == expected
+
+    @pytest.mark.parametrize("m,n,expected", [
+        (0, 5, 6), (1, 3, 5), (2, 3, 9), (3, 3, 61),
+    ])
+    def test_ackermann(self, m, n, expected):
+        emulator = Emulator(ackermann_kernel(m, n))
+        emulator.run()
+        assert emulator.state.regs[2] == expected
+
+    def test_ackermann_m_capped(self):
+        with pytest.raises(ValueError):
+            ackermann_kernel(4, 1)
+
+    def test_calls_balance(self):
+        for program in (hanoi_kernel(5), tree_sum_kernel(5),
+                        ackermann_kernel(2, 2)):
+            stats = Emulator(program).run()
+            assert stats.calls == stats.returns
+
+    def test_ackermann_depth_is_wild(self):
+        stats = Emulator(ackermann_kernel(3, 3)).run()
+        assert stats.call_depth.max_key > 50
+
+
+class TestOnThePipeline:
+    def test_hanoi_commits_golden_stream(self):
+        program = hanoi_kernel(6)
+        golden = [(r.pc, r.next_pc) for r in Emulator(program).trace()]
+        committed = []
+        cpu = SinglePathCPU(program, commit_hook=lambda e: committed.append(
+            (e.pc, e.pc if e.outcome.is_halt else e.outcome.next_pc)))
+        cpu.run()
+        assert committed == golden
+
+    def test_ackermann_overflows_small_stack(self):
+        """ack(3,3) reaches depth ~60: a 16-entry stack must overflow
+        and its return accuracy must suffer even with perfect repair."""
+        program = ackermann_kernel(3, 3)
+        deep = (baseline_config()
+                .with_repair(RepairMechanism.FULL_STACK)
+                .with_ras_entries(128))
+        shallow = (baseline_config()
+                   .with_repair(RepairMechanism.FULL_STACK)
+                   .with_ras_entries(16))
+        deep_result = SinglePathCPU(program, deep).run()
+        shallow_result = SinglePathCPU(program, shallow).run()
+        assert shallow_result.counter("ras_overflows") > 0
+        assert shallow_result.return_accuracy < deep_result.return_accuracy
+
+    def test_tree_sum_repair_ordering(self):
+        """Dense tree recursion is a worst case for single-entry repair:
+        wrong paths cross several return levels before the branch
+        resolves, corrupting *below* the checkpointed top. The ordering
+        still holds, and only FULL reaches 100% — which is exactly why
+        the paper evaluates full checkpointing as the upper bound."""
+        program = tree_sum_kernel(7)
+        accuracy = {}
+        for mechanism in (RepairMechanism.NONE,
+                          RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                          RepairMechanism.FULL_STACK):
+            config = baseline_config().with_repair(mechanism)
+            accuracy[mechanism] = SinglePathCPU(program, config).run(
+            ).return_accuracy
+        assert (accuracy[RepairMechanism.NONE]
+                < accuracy[RepairMechanism.TOS_POINTER_AND_CONTENTS]
+                <= accuracy[RepairMechanism.FULL_STACK])
+        assert accuracy[RepairMechanism.FULL_STACK] == pytest.approx(1.0)

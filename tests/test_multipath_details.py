@@ -1,0 +1,191 @@
+"""Finer-grained multipath behaviour: forking, zombies, forwarding."""
+
+import pytest
+
+from repro.config import StackOrganization, baseline_config
+from repro.emu import Emulator
+from repro.isa import ProgramBuilder
+from repro.multipath import MultipathCPU
+
+
+def coin_flip_loop(iterations=120, with_calls=True):
+    """A loop around an unlearnable 50/50 branch — every fetch of it is
+    low-confidence at first, so forks happen immediately."""
+    b = ProgramBuilder()
+    b.label("main")
+    b.li(29, 0x80000)
+    b.li(20, 0x2545F4914F6CDD1D)
+    b.li(21, 6364136223846793005)
+    b.li(10, iterations)
+    b.label("loop")
+    b.mul(20, 20, 21)
+    b.addi(20, 20, 999331)
+    b.srli(22, 20, 37)
+    b.andi(23, 22, 1)
+    b.beqz(23, "other_site")
+    if with_calls:
+        b.jal("callee")      # call site A: concurrent paths call the
+        b.j("join")          # same callee from different sites, so a
+        b.label("other_site")  # unified stack interleaves different
+        b.jal("callee")      # return addresses (call site B)
+        b.label("join")
+        b.jal("callee")      # call site C: a return follows the fork
+    else:
+        b.addi(1, 1, 1)
+        b.j("join")
+        b.label("other_site")
+        b.addi(1, 1, 2)
+        b.label("join")
+    b.addi(10, 10, -1)
+    b.bnez(10, "loop")
+    b.halt()
+    if with_calls:
+        b.label("callee")
+        b.addi(2, 2, 1)
+        b.addi(2, 2, 1)
+        b.ret()
+    return b.build(entry="main")
+
+
+def run_multipath(program, paths=2, org=StackOrganization.PER_PATH):
+    config = baseline_config().with_multipath(paths, org)
+    cpu = MultipathCPU(program, config)
+    result = cpu.run()
+    return result, cpu
+
+
+class TestForking:
+    def test_forks_happen_on_coin_flips(self):
+        result, _ = run_multipath(coin_flip_loop())
+        assert result.counter("forks") > 20
+
+    def test_fork_saves_mispredictions(self):
+        """~half the coin flips mispredict; with a spare context most
+        of those should have their correct side already running."""
+        result, _ = run_multipath(coin_flip_loop())
+        assert result.counter("fork_saved_mispredictions") > 10
+
+    def test_path_budget_respected(self):
+        program = coin_flip_loop()
+        for paths in (2, 4):
+            config = baseline_config().with_multipath(
+                paths, StackOrganization.PER_PATH)
+            cpu = MultipathCPU(program, config)
+            max_alive = 0
+            while not cpu.done:
+                cpu.step()
+                max_alive = max(max_alive, len(cpu._alive_paths()))
+            assert max_alive <= paths
+
+    def test_single_context_never_forks(self):
+        result, _ = run_multipath(coin_flip_loop(), paths=1)
+        assert result.counter("forks") == 0
+
+    def test_confidence_suppresses_forks_on_easy_branches(self):
+        """The loop back-edge is almost-always-taken: after warmup the
+        JRS counters saturate and it stops forking; the coin flip keeps
+        forking. With only easy branches, forks must be rare."""
+        easy = coin_flip_loop(with_calls=False)
+        hard_result, _ = run_multipath(easy)
+        # now a purely easy loop:
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(10, 400)
+        b.label("loop")
+        b.addi(1, 1, 1)
+        b.addi(10, 10, -1)
+        b.bnez(10, "loop")
+        b.halt()
+        easy_result, _ = run_multipath(b.build(entry="main"))
+        assert easy_result.counter("forks") < hard_result.counter("forks")
+
+    def test_bubbles_consume_commit_slots(self):
+        result, _ = run_multipath(coin_flip_loop())
+        assert result.counter("bubbles_retired") > 0
+
+
+class TestZombiePaths:
+    def test_lost_paths_exist_transiently(self):
+        """When the explored side wins, the parent becomes a zombie
+        (lost but not dead) until its entries drain."""
+        program = coin_flip_loop()
+        config = baseline_config().with_multipath(
+            2, StackOrganization.PER_PATH)
+        cpu = MultipathCPU(program, config)
+        saw_zombie = False
+        while not cpu.done:
+            cpu.step()
+            if any(p.lost and not p.dead for p in cpu._paths):
+                saw_zombie = True
+        assert saw_zombie
+
+    def test_dead_paths_are_pruned(self):
+        program = coin_flip_loop(iterations=300)
+        config = baseline_config().with_multipath(
+            4, StackOrganization.PER_PATH)
+        cpu = MultipathCPU(program, config)
+        cpu.run()
+        # pruning keeps the path list bounded even after hundreds of
+        # forks (it runs every 512 cycles).
+        assert len(cpu._paths) < 64
+
+
+class TestPerPathStacks:
+    def test_per_path_stack_isolated_from_sibling(self):
+        """With per-path stacks, heavy forking around calls must not
+        degrade return prediction."""
+        result, _ = run_multipath(
+            coin_flip_loop(), org=StackOrganization.PER_PATH)
+        assert result.return_accuracy > 0.95
+
+    def test_unified_stack_contention_visible(self):
+        per_path, _ = run_multipath(
+            coin_flip_loop(), org=StackOrganization.PER_PATH)
+        unified, _ = run_multipath(
+            coin_flip_loop(), org=StackOrganization.UNIFIED)
+        assert unified.return_accuracy < per_path.return_accuracy
+
+    def test_golden_equivalence_max_paths_8(self):
+        program = coin_flip_loop()
+        golden = [(r.pc, r.next_pc) for r in Emulator(program).trace()]
+        committed = []
+        config = baseline_config().with_multipath(
+            8, StackOrganization.PER_PATH)
+        cpu = MultipathCPU(program, config, commit_hook=lambda e: committed.append(
+            (e.pc, e.pc if e.outcome.is_halt else e.outcome.next_pc)))
+        cpu.run()
+        assert committed == golden
+
+
+class TestStoreForwardingAcrossForks:
+    def test_child_sees_pre_fork_store(self):
+        """A store before the forked branch, a dependent load after it:
+        whichever side wins, the load must see the stored value."""
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(29, 0x80000)
+        b.li(20, 0x2545F4914F6CDD1D)
+        b.li(21, 6364136223846793005)
+        b.li(10, 60)
+        b.li(4, 0x4000)
+        b.label("loop")
+        b.mul(20, 20, 21)
+        b.addi(20, 20, 7)
+        b.store(20, 4, 0)          # store LCG state
+        b.srli(22, 20, 41)
+        b.andi(23, 22, 1)
+        b.beqz(23, "skip")
+        b.load(5, 4, 0)            # taken side: load it back
+        b.xor(6, 6, 5)
+        b.label("skip")
+        b.load(7, 4, 0)            # both sides: load it back
+        b.xor(8, 8, 7)
+        b.addi(10, 10, -1)
+        b.bnez(10, "loop")
+        b.halt()
+        program = b.build(entry="main")
+
+        emulator = Emulator(program)
+        emulator.run()
+        _, cpu = run_multipath(program)
+        assert cpu.final_regs == emulator.state.regs

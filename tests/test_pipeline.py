@@ -1,0 +1,180 @@
+"""Integration tests for the single-path out-of-order pipeline.
+
+The central invariant: whatever the pipeline speculates about, the
+*committed* instruction stream and final architectural state must be
+identical to the reference emulator's. Everything else — IPC, hit
+rates, penalties — is timing, checked for plausibility.
+"""
+
+import pytest
+
+from repro.config import MachineConfig, RepairMechanism, baseline_config
+from repro.emu import Emulator
+from repro.errors import SimulationError
+from repro.isa import ProgramBuilder
+from repro.pipeline import SinglePathCPU
+from repro.workloads.generator import build_workload
+from repro.workloads.kernels import (
+    dispatch_kernel,
+    fibonacci_kernel,
+    loop_sum_kernel,
+    mutual_recursion_kernel,
+    stack_stress_kernel,
+)
+
+
+def committed_stream(program, config=None, **kwargs):
+    committed = []
+
+    def hook(entry):
+        next_pc = entry.pc if entry.outcome.is_halt else entry.outcome.next_pc
+        committed.append((entry.pc, next_pc))
+
+    cpu = SinglePathCPU(program, config, commit_hook=hook, **kwargs)
+    result = cpu.run()
+    return committed, result, cpu
+
+
+def golden_stream(program):
+    return [(r.pc, r.next_pc) for r in Emulator(program).trace()]
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("program_factory", [
+        lambda: loop_sum_kernel(50),
+        lambda: fibonacci_kernel(10),
+        lambda: mutual_recursion_kernel(20),
+        lambda: stack_stress_kernel(40, 3),
+        lambda: dispatch_kernel(150, 8),
+    ], ids=["loop", "fib", "mutual", "stack", "dispatch"])
+    def test_kernels_commit_golden_stream(self, program_factory):
+        program = program_factory()
+        committed, _, _ = committed_stream(program)
+        assert committed == golden_stream(program)
+
+    @pytest.mark.parametrize("name", ["li", "go", "vortex"])
+    def test_workloads_commit_golden_stream(self, name):
+        program = build_workload(name, seed=2, scale=0.1)
+        committed, _, _ = committed_stream(program)
+        assert committed == golden_stream(program)
+
+    @pytest.mark.parametrize("mechanism", list(RepairMechanism))
+    def test_every_repair_mechanism_is_functionally_transparent(self, mechanism):
+        """Repair affects timing and hit rates, never correctness."""
+        program = build_workload("li", seed=3, scale=0.05)
+        config = baseline_config().with_repair(mechanism)
+        committed, _, _ = committed_stream(program, config)
+        assert committed == golden_stream(program)
+
+    def test_final_register_state_matches_emulator(self):
+        program = fibonacci_kernel(11)
+        emulator = Emulator(program)
+        emulator.run()
+        _, _, cpu = committed_stream(program)
+        assert cpu.state.regs == emulator.state.regs
+
+    def test_final_memory_matches_emulator(self):
+        program = stack_stress_kernel(20, 2)
+        emulator = Emulator(program)
+        emulator.run()
+        _, _, cpu = committed_stream(program)
+        for address in emulator.state.memory:
+            assert cpu.state.read_mem(address) == emulator.state.read_mem(address)
+
+    def test_btb_only_config_still_correct(self):
+        program = build_workload("compress", seed=1, scale=0.05)
+        committed, _, _ = committed_stream(program, baseline_config().without_ras())
+        assert committed == golden_stream(program)
+
+    def test_limited_shadow_slots_still_correct(self):
+        import dataclasses
+        base = baseline_config()
+        config = dataclasses.replace(
+            base,
+            predictor=dataclasses.replace(
+                base.predictor, shadow_checkpoint_slots=4),
+        )
+        program = build_workload("li", seed=4, scale=0.05)
+        committed, _, _ = committed_stream(program, config)
+        assert committed == golden_stream(program)
+
+
+class TestTimingPlausibility:
+    def test_superscalar_ipc_on_independent_work(self):
+        program = loop_sum_kernel(500)
+        _, result, _ = committed_stream(program)
+        assert result.ipc > 0.8
+
+    def test_mispredictions_cost_cycles(self):
+        easy = loop_sum_kernel(300)
+        hard = dispatch_kernel(100, 8)
+        _, easy_result, _ = committed_stream(easy)
+        _, hard_result, _ = committed_stream(hard)
+        assert hard_result.ipc < easy_result.ipc
+        assert hard_result.counter("mispredictions") > 0
+
+    def test_repair_improves_return_accuracy(self):
+        program = build_workload("li", seed=1, scale=0.15)
+        accuracies = {}
+        for mechanism in (RepairMechanism.NONE,
+                          RepairMechanism.TOS_POINTER,
+                          RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                          RepairMechanism.FULL_STACK):
+            config = baseline_config().with_repair(mechanism)
+            _, result, _ = committed_stream(program, config)
+            accuracies[mechanism] = result.return_accuracy
+        assert accuracies[RepairMechanism.NONE] < accuracies[
+            RepairMechanism.TOS_POINTER_AND_CONTENTS]
+        assert accuracies[RepairMechanism.TOS_POINTER] <= accuracies[
+            RepairMechanism.FULL_STACK]
+        assert accuracies[RepairMechanism.FULL_STACK] >= 0.99
+
+    def test_cycles_monotone_with_work(self):
+        _, short_result, _ = committed_stream(loop_sum_kernel(50))
+        _, long_result, _ = committed_stream(loop_sum_kernel(500))
+        assert long_result.cycles > short_result.cycles
+
+    def test_stats_are_consistent(self):
+        program = fibonacci_kernel(10)
+        committed, result, cpu = committed_stream(program)
+        assert result.instructions == len(committed)
+        assert result.counter("fetched") >= result.counter("dispatched")
+        assert result.counter("dispatched") == (
+            result.instructions + result.counter("squashed"))
+        assert cpu.frontend.shadow_pool.in_use == 0  # all slots returned
+
+
+class TestLimitsAndFailures:
+    def test_max_cycles_stops_early(self):
+        program = loop_sum_kernel(10_000)
+        cpu = SinglePathCPU(program, max_cycles=100)
+        result = cpu.run()
+        assert result.cycles <= 101
+        assert not cpu.done
+
+    def test_max_instructions_stops_early(self):
+        program = loop_sum_kernel(10_000)
+        cpu = SinglePathCPU(program, max_instructions=500)
+        result = cpu.run()
+        assert 500 <= result.instructions <= 504
+
+    def test_correct_path_jump_into_the_weeds_is_detected(self):
+        """A program whose *architectural* path leaves the text segment
+        can never commit past the bad jump; the deadlock guard trips."""
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(1, 1 << 30)
+        b.jr(1)
+        b.halt()
+        cpu = SinglePathCPU(b.build(entry="main"))
+        with pytest.raises(SimulationError):
+            cpu.run()
+
+    def test_step_is_externally_drivable(self):
+        program = loop_sum_kernel(5)
+        cpu = SinglePathCPU(program)
+        for _ in range(10_000):
+            if cpu.done:
+                break
+            cpu.step()
+        assert cpu.done

@@ -1,0 +1,137 @@
+"""Finer-grained pipeline behaviour: stalls, forwarding, recovery."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.isa import ProgramBuilder
+from repro.pipeline import SinglePathCPU
+from repro.workloads.kernels import loop_sum_kernel
+
+
+def run(builder_or_program, **kwargs):
+    program = builder_or_program
+    if isinstance(program, ProgramBuilder):
+        program = program.build(entry="main")
+    cpu = SinglePathCPU(program, baseline_config(), **kwargs)
+    return cpu.run(), cpu
+
+
+class TestStallAttribution:
+    def test_stall_counters_exist_and_bounded(self):
+        result, _ = run(loop_sum_kernel(200))
+        stall_names = ["stall_frontend", "stall_memory", "stall_execute",
+                       "stall_dependency", "stall_issue"]
+        total_stalls = sum(result.counter(name) for name in stall_names)
+        assert 0 < total_stalls < result.cycles
+
+    def test_pointer_chase_blames_memory(self):
+        """A dependent chain of cache-missing loads: the RUU head is an
+        in-flight load most of the time."""
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(1, 0)
+        b.li(2, 100)
+        b.label("loop")
+        # stride of 8KB defeats the 64KB L1 quickly across 100 sites
+        b.load(3, 1, 0)
+        b.addi(1, 1, 8192)
+        b.add(3, 3, 3)
+        b.addi(2, 2, -1)
+        b.bnez(2, "loop")
+        b.halt()
+        result, _ = run(b)
+        assert result.counter("stall_memory") > result.counter("stall_execute")
+        assert result.counter("l1d_misses") > 50
+
+    def test_serial_multiplies_blame_execute_or_dependency(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(1, 3)
+        b.li(2, 200)
+        b.label("loop")
+        b.mul(1, 1, 1)   # serial 3-cycle chain
+        b.mul(1, 1, 1)
+        b.addi(2, 2, -1)
+        b.bnez(2, "loop")
+        b.halt()
+        result, _ = run(b)
+        blocked = (result.counter("stall_execute")
+                   + result.counter("stall_dependency"))
+        assert blocked > result.cycles * 0.3
+
+
+class TestStoreToLoadForwarding:
+    def test_forwarded_load_sees_store_value(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(1, 0x4000)
+        b.li(2, 77)
+        b.store(2, 1, 0)
+        b.load(3, 1, 0)      # must forward from the in-flight store
+        b.halt()
+        result, cpu = run(b)
+        assert cpu.state.regs[3] == 77
+
+    def test_store_load_different_addresses_no_alias(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(1, 0x4000)
+        b.li(2, 5)
+        b.store(2, 1, 0)
+        b.load(3, 1, 64)     # different address, reads 0
+        b.halt()
+        _, cpu = run(b)
+        assert cpu.state.regs[3] == 0
+
+
+class TestRecoveryDetails:
+    def _mispredicting_loop(self, iterations=200):
+        """Alternating-depth call pattern with an unlearnable branch."""
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(29, 0x80000)
+        b.li(20, 0x9E3779B97F4A7C15)
+        b.li(21, 6364136223846793005)
+        b.li(10, iterations)
+        b.label("loop")
+        b.mul(20, 20, 21)
+        b.addi(20, 20, 12345)
+        b.srli(22, 20, 40)
+        b.andi(23, 22, 1)
+        b.beqz(23, "skip")
+        b.jal("callee")
+        b.label("skip")
+        b.addi(10, 10, -1)
+        b.bnez(10, "loop")
+        b.halt()
+        b.label("callee")
+        b.addi(1, 1, 1)
+        b.ret()
+        return b.build(entry="main")
+
+    def test_squashed_instructions_are_counted(self):
+        result, _ = run(self._mispredicting_loop())
+        assert result.counter("squashed") > 0
+        assert result.counter("mispredictions_cond") > 30
+
+    def test_architectural_state_survives_heavy_speculation(self):
+        from repro.emu import Emulator
+        program = self._mispredicting_loop()
+        emulator = Emulator(program)
+        emulator.run()
+        _, cpu = run(program)
+        assert cpu.state.regs == emulator.state.regs
+
+    def test_no_shadow_slot_leak_under_recovery(self):
+        program = self._mispredicting_loop()
+        _, cpu = run(program)
+        assert cpu.frontend.shadow_pool.in_use == 0
+
+    def test_wrong_path_touches_the_caches(self):
+        """Mis-speculated fetch must reach the I-cache (the paper's
+        'wrong-path prefetching and pollution' modelling point)."""
+        program = self._mispredicting_loop()
+        result, cpu = run(program)
+        fetched = result.counter("fetched")
+        dispatched = result.counter("dispatched")
+        assert fetched > dispatched  # some fetched, never dispatched

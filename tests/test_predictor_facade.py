@@ -1,0 +1,187 @@
+"""Unit tests for the front-end predictor facade."""
+
+import pytest
+
+from repro.bpred import FrontEndPredictor
+from repro.config import BranchPredictorConfig, RepairMechanism
+from repro.isa import Instruction, Opcode
+from repro.isa.opcodes import ControlClass
+
+
+def small_config(**overrides):
+    defaults = dict(
+        gag_entries=64,
+        pag_history_entries=64,
+        pag_history_bits=6,
+        selector_entries=64,
+        btb_sets=16,
+        btb_assoc=2,
+        ras_entries=8,
+    )
+    defaults.update(overrides)
+    return BranchPredictorConfig(**defaults)
+
+
+def cond(target=64):
+    return Instruction(Opcode.BNEZ, rs=1, target=target)
+
+
+class TestConditionalPrediction:
+    def test_taken_needs_btb_hit(self):
+        fe = FrontEndPredictor(small_config())
+        branch = cond(target=64)
+        # Train taken at commit so the direction predictor says taken
+        # and the BTB has the target.
+        for _ in range(4):
+            fe.train_commit(0, branch, taken=True, target=64)
+        p = fe.predict(0, branch)
+        assert p.taken
+        assert p.target == 64
+
+    def test_taken_with_btb_miss_falls_through(self):
+        fe = FrontEndPredictor(small_config())
+        branch = cond(target=64)
+        # Make the direction predictor strongly taken WITHOUT a BTB
+        # entry: train a different PC that aliases in the direction
+        # tables but not in the BTB... simplest: train taken, then evict
+        # by training not-taken branches is fiddly — instead check the
+        # power-on state: weakly-taken counters predict taken, BTB empty.
+        p = fe.predict(0, branch)
+        assert not p.taken             # decoupled-BTB miss demotes to NT
+        assert p.target == 4
+
+    def test_not_taken_predicts_fallthrough(self):
+        fe = FrontEndPredictor(small_config())
+        branch = cond()
+        for _ in range(4):
+            fe.train_commit(0, branch, taken=False, target=64)
+        p = fe.predict(0, branch)
+        assert not p.taken
+        assert p.target == 4
+
+
+class TestDirectTransfers:
+    def test_direct_jump_uses_instruction_target(self):
+        fe = FrontEndPredictor(small_config())
+        p = fe.predict(0, Instruction(Opcode.J, target=120))
+        assert p.taken and p.target == 120
+        assert p.checkpoint is None    # direct jumps cannot mispredict
+
+    def test_direct_call_pushes_return_address(self):
+        fe = FrontEndPredictor(small_config())
+        fe.predict(100, Instruction(Opcode.JAL, target=0))
+        assert fe.ras.top() == 104
+
+
+class TestReturns:
+    def test_return_pops_matching_call(self):
+        fe = FrontEndPredictor(small_config())
+        fe.predict(100, Instruction(Opcode.JAL, target=0))
+        p = fe.predict(200, Instruction(Opcode.RET))
+        assert p.target == 104
+        assert p.used_ras
+        assert not p.from_btb
+
+    def test_return_without_ras_uses_btb(self):
+        fe = FrontEndPredictor(small_config(ras_enabled=False))
+        assert fe.ras is None
+        ret = Instruction(Opcode.RET)
+        fe.train_commit(200, ret, taken=True, target=104)
+        p = fe.predict(200, ret)
+        assert p.from_btb
+        assert p.target == 104
+
+    def test_return_without_ras_and_cold_btb_falls_through(self):
+        fe = FrontEndPredictor(small_config(ras_enabled=False))
+        p = fe.predict(200, Instruction(Opcode.RET))
+        assert p.target == 204
+
+    def test_valid_bits_fallback_to_btb(self):
+        fe = FrontEndPredictor(small_config(
+            ras_repair=RepairMechanism.VALID_BITS))
+        ret = Instruction(Opcode.RET)
+        fe.train_commit(200, ret, taken=True, target=444)
+        p = fe.predict(200, ret)   # empty stack -> invalid entry
+        assert p.from_btb
+        assert p.target == 444
+
+
+class TestIndirects:
+    def test_indirect_jump_via_btb(self):
+        fe = FrontEndPredictor(small_config())
+        jr = Instruction(Opcode.JR, rs=1)
+        fe.train_commit(40, jr, taken=True, target=400)
+        p = fe.predict(40, jr)
+        assert p.from_btb and p.target == 400
+
+    def test_indirect_call_pushes_despite_btb_miss(self):
+        fe = FrontEndPredictor(small_config())
+        p = fe.predict(40, Instruction(Opcode.JALR, rs=1))
+        assert p.target == 44           # no prediction -> fallthrough
+        assert fe.ras.top() == 44       # the push still happens
+
+
+class TestCheckpointDiscipline:
+    def test_checkpoint_after_own_ras_action(self):
+        """A return's checkpoint must capture the *popped* stack."""
+        fe = FrontEndPredictor(small_config())
+        fe.predict(0, Instruction(Opcode.JAL, target=0))    # pushes 4
+        fe.predict(8, Instruction(Opcode.JAL, target=0))    # pushes 12
+        p = fe.predict(200, Instruction(Opcode.RET))        # pops 12
+        # wrong-path activity after the return...
+        fe.ras.pop()
+        fe.ras.push(999)
+        fe.repair(p)
+        # ...must restore to the post-pop state: top is 4, not 12.
+        assert fe.ras.top() == 4
+
+    def test_release_frees_slot(self):
+        fe = FrontEndPredictor(small_config(shadow_checkpoint_slots=1))
+        p1 = fe.predict(0, cond())
+        assert p1.has_slot
+        p2 = fe.predict(4, cond())
+        assert not p2.has_slot          # pool exhausted: no checkpoint
+        fe.release(p1)
+        p3 = fe.predict(8, cond())
+        assert p3.has_slot
+
+    def test_repair_without_slot_is_noop(self):
+        fe = FrontEndPredictor(small_config(shadow_checkpoint_slots=0))
+        fe.ras.push(100)
+        p = fe.predict(200, Instruction(Opcode.RET))
+        fe.ras.push(666)
+        fe.repair(p)                    # nothing to restore
+        assert fe.ras.top() == 666
+
+    def test_double_release_safe(self):
+        fe = FrontEndPredictor(small_config(shadow_checkpoint_slots=4))
+        p = fe.predict(0, cond())
+        fe.release(p)
+        fe.release(p)                   # second release is a no-op
+        assert fe.shadow_pool.in_use == 0
+
+
+class TestCommitTraining:
+    def test_return_accuracy_stat(self):
+        fe = FrontEndPredictor(small_config())
+        fe.predict(100, Instruction(Opcode.JAL, target=0))
+        ret = Instruction(Opcode.RET)
+        p = fe.predict(200, ret)
+        fe.train_commit(200, ret, taken=True, target=104, prediction=p)
+        assert fe.return_accuracy == pytest.approx(1.0)
+
+    def test_cond_accuracy_counts_target(self):
+        fe = FrontEndPredictor(small_config())
+        branch = cond(target=64)
+        p = fe.predict(0, branch)          # predicted NT (cold BTB)
+        fe.train_commit(0, branch, taken=True, target=64, prediction=p)
+        assert fe.cond_accuracy == pytest.approx(0.0)
+
+    def test_indirect_accuracy(self):
+        fe = FrontEndPredictor(small_config())
+        jr = Instruction(Opcode.JR, rs=1)
+        p = fe.predict(40, jr)
+        fe.train_commit(40, jr, taken=True, target=400, prediction=p)
+        assert fe.indirect_accuracy == pytest.approx(0.0)
+        p = fe.predict(40, jr)
+        assert p.target == 400

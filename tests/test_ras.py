@@ -1,0 +1,374 @@
+"""Unit tests for the return-address stack and every repair mechanism.
+
+The scripted scenarios below are the paper's corruption cases:
+
+* wrong-path *pushes* move the TOS pointer but write above the old top,
+  so restoring the pointer alone fully repairs them;
+* a wrong-path *pop then push* overwrites the old top entry, which only
+  pointer+contents (or better) repairs;
+* deeper pop/push sequences corrupt entries below the top, which only
+  full-stack checkpointing (or self-checkpointing) repairs.
+"""
+
+import pytest
+
+from repro.bpred import CircularRas, LinkedRas, make_ras
+from repro.config import RepairMechanism
+from repro.errors import ConfigError
+
+
+def filled(repair, entries=8, values=(100, 200, 300)):
+    """A stack holding ``values`` (last one on top)."""
+    ras = CircularRas(entries, repair)
+    for value in values:
+        ras.push(value)
+    return ras
+
+
+class TestBasicStack:
+    def test_lifo_order(self):
+        ras = CircularRas(8, RepairMechanism.NONE)
+        for value in (1, 2, 3):
+            ras.push(value)
+        assert [ras.pop() for _ in range(3)] == [3, 2, 1]
+
+    def test_top_peeks_without_popping(self):
+        ras = filled(RepairMechanism.NONE)
+        assert ras.top() == 300
+        assert ras.top() == 300
+        assert ras.pop() == 300
+
+    def test_overflow_wraps_and_loses_oldest(self):
+        ras = CircularRas(2, RepairMechanism.NONE)
+        for value in (1, 2, 3):
+            ras.push(value)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        # entry 1 was overwritten by the wrap
+        assert ras.pop() != 1
+        assert ras.stats["overflows"].value == 1
+
+    def test_underflow_counted(self):
+        ras = CircularRas(4, RepairMechanism.NONE)
+        ras.pop()
+        assert ras.stats["underflows"].value == 1
+
+    def test_depth_tracks_occupancy(self):
+        ras = CircularRas(4, RepairMechanism.NONE)
+        ras.push(1)
+        ras.push(2)
+        assert ras.depth == 2
+        ras.pop()
+        assert ras.depth == 1
+
+    def test_logical_entries_top_first(self):
+        ras = filled(RepairMechanism.NONE)
+        assert ras.logical_entries() == [300, 200, 100]
+
+    def test_single_entry_stack_allowed(self):
+        ras = CircularRas(1, RepairMechanism.NONE)
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigError):
+            CircularRas(0, RepairMechanism.NONE)
+
+    def test_self_checkpoint_requires_linked(self):
+        with pytest.raises(ConfigError):
+            CircularRas(8, RepairMechanism.SELF_CHECKPOINT)
+
+
+class TestNoRepair:
+    def test_checkpoint_is_none(self):
+        ras = filled(RepairMechanism.NONE)
+        assert ras.checkpoint() is None
+
+    def test_wrong_path_pushes_persist(self):
+        ras = filled(RepairMechanism.NONE)
+        token = ras.checkpoint()
+        ras.push(666)          # wrong path
+        ras.restore(token)     # no-op
+        assert ras.pop() == 666
+
+
+class TestTosPointerRepair:
+    def test_repairs_wrong_path_pushes(self):
+        ras = filled(RepairMechanism.TOS_POINTER)
+        token = ras.checkpoint()
+        ras.push(666)
+        ras.push(667)
+        ras.restore(token)
+        # pushes wrote above the old top; pointer restore fully repairs.
+        assert ras.pop() == 300
+        assert ras.pop() == 200
+
+    def test_repairs_wrong_path_pops(self):
+        ras = filled(RepairMechanism.TOS_POINTER)
+        token = ras.checkpoint()
+        ras.pop()
+        ras.pop()
+        ras.restore(token)
+        # pops destroy nothing in a circular buffer; pointer suffices.
+        assert ras.pop() == 300
+
+    def test_cannot_repair_pop_then_push(self):
+        """The canonical failure: overwritten top entry is unrecoverable."""
+        ras = filled(RepairMechanism.TOS_POINTER)
+        token = ras.checkpoint()
+        ras.pop()              # wrong path consumes 300
+        ras.push(666)          # wrong path overwrites the top slot
+        ras.restore(token)
+        assert ras.pop() == 666   # corrupted!
+        assert ras.pop() == 200   # below the top is intact
+
+
+class TestTosPointerAndContentsRepair:
+    def test_repairs_pop_then_push(self):
+        ras = filled(RepairMechanism.TOS_POINTER_AND_CONTENTS)
+        token = ras.checkpoint()
+        ras.pop()
+        ras.push(666)
+        ras.restore(token)
+        assert ras.pop() == 300   # the paper's mechanism saves the day
+        assert ras.pop() == 200
+
+    def test_cannot_repair_deeper_corruption(self):
+        """Two pops + two pushes corrupt below the checkpointed top."""
+        ras = filled(RepairMechanism.TOS_POINTER_AND_CONTENTS)
+        token = ras.checkpoint()
+        ras.pop()
+        ras.pop()
+        ras.push(666)   # overwrites the 200 slot
+        ras.push(667)   # overwrites the 300 slot
+        ras.restore(token)
+        assert ras.pop() == 300   # top repaired from the checkpoint
+        assert ras.pop() == 666   # second entry corrupted
+
+    def test_nested_checkpoints_restore_in_reverse(self):
+        ras = filled(RepairMechanism.TOS_POINTER_AND_CONTENTS)
+        outer = ras.checkpoint()
+        ras.push(400)
+        inner = ras.checkpoint()
+        ras.pop()
+        ras.push(666)
+        ras.restore(inner)
+        assert ras.top() == 400
+        ras.restore(outer)
+        assert ras.top() == 300
+
+
+class TestFullStackRepair:
+    def test_repairs_arbitrary_corruption(self):
+        ras = filled(RepairMechanism.FULL_STACK)
+        token = ras.checkpoint()
+        for _ in range(3):
+            ras.pop()
+        for value in (61, 62, 63, 64):
+            ras.push(value)
+        ras.restore(token)
+        assert [ras.pop() for _ in range(3)] == [300, 200, 100]
+
+
+class TestValidBits:
+    def test_detects_overwritten_top(self):
+        ras = filled(RepairMechanism.VALID_BITS)
+        token = ras.checkpoint()
+        ras.pop()
+        ras.push(666)     # wrong-path write into the old top slot
+        ras.restore(token)
+        # the slot is known-corrupt: no prediction rather than a wrong one
+        assert ras.pop() is None
+        assert ras.pop() == 200   # below is still valid
+
+    def test_plain_pushes_still_valid_after_restore(self):
+        ras = filled(RepairMechanism.VALID_BITS)
+        token = ras.checkpoint()
+        ras.push(666)
+        ras.restore(token)
+        assert ras.pop() == 300
+
+    def test_empty_slot_invalid(self):
+        ras = CircularRas(4, RepairMechanism.VALID_BITS)
+        assert ras.pop() is None
+
+
+class TestCloning:
+    def test_clone_is_independent(self):
+        ras = filled(RepairMechanism.TOS_POINTER_AND_CONTENTS)
+        twin = ras.clone()
+        twin.push(999)
+        assert ras.top() == 300
+        assert twin.top() == 999
+
+    def test_clone_preserves_contents(self):
+        ras = filled(RepairMechanism.FULL_STACK)
+        twin = ras.clone()
+        assert twin.logical_entries() == ras.logical_entries()
+
+
+class TestLinkedRas:
+    def test_lifo(self):
+        ras = LinkedRas(8)
+        for value in (1, 2, 3):
+            ras.push(value)
+        assert [ras.pop() for _ in range(3)] == [3, 2, 1]
+
+    def test_empty_pop_returns_none(self):
+        ras = LinkedRas(4)
+        assert ras.pop() is None
+        assert ras.stats["underflows"].value == 1
+
+    def test_pointer_restore_recovers_popped_entries(self):
+        """Self-checkpointing: pops never destroy, pushes never overwrite."""
+        ras = LinkedRas(8, overprovision=4)
+        for value in (100, 200, 300):
+            ras.push(value)
+        token = ras.checkpoint()
+        ras.pop()
+        ras.pop()
+        ras.push(666)
+        ras.push(667)
+        ras.restore(token)
+        # Full logical stack is back — the effect of full checkpointing.
+        assert [ras.pop() for _ in range(3)] == [300, 200, 100]
+
+    def test_pool_recycling_loses_old_entries(self):
+        """With a tiny pool, wrong-path pushes recycle live slots."""
+        ras = LinkedRas(2, overprovision=1)   # pool of 2 physical slots
+        ras.push(100)
+        ras.push(200)
+        token = ras.checkpoint()
+        ras.push(666)   # recycles the slot holding 100
+        ras.restore(token)
+        values = [ras.pop(), ras.pop()]
+        assert values[0] == 200
+        assert values[1] != 100   # recycled away
+        assert ras.stats["overflows"].value >= 1
+
+    def test_clone_independent(self):
+        ras = LinkedRas(8)
+        ras.push(1)
+        twin = ras.clone()
+        twin.push(2)
+        assert ras.top() == 1
+        assert twin.top() == 2
+
+    def test_logical_entries(self):
+        ras = LinkedRas(8)
+        for value in (5, 6):
+            ras.push(value)
+        assert ras.logical_entries() == [6, 5]
+
+    def test_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            LinkedRas(0)
+        with pytest.raises(ConfigError):
+            LinkedRas(4, overprovision=0)
+
+
+class TestFactory:
+    def test_linked_for_self_checkpoint(self):
+        ras = make_ras(8, RepairMechanism.SELF_CHECKPOINT)
+        assert isinstance(ras, LinkedRas)
+
+    @pytest.mark.parametrize("mechanism", [
+        RepairMechanism.NONE,
+        RepairMechanism.TOS_POINTER,
+        RepairMechanism.TOS_POINTER_AND_CONTENTS,
+        RepairMechanism.FULL_STACK,
+        RepairMechanism.VALID_BITS,
+    ])
+    def test_circular_for_the_rest(self, mechanism):
+        ras = make_ras(8, mechanism)
+        assert isinstance(ras, CircularRas)
+        assert ras.repair is mechanism
+
+
+class TestContentsDepth:
+    """The paper's 'save an arbitrary number of entries' generalisation."""
+
+    def test_depth_one_is_default_behaviour(self):
+        a = CircularRas(8, RepairMechanism.TOS_POINTER_AND_CONTENTS)
+        b = CircularRas(8, RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                        contents_depth=1)
+        for ras in (a, b):
+            ras.push(100)
+            ras.push(200)
+        token_a, token_b = a.checkpoint(), b.checkpoint()
+        for ras, token in ((a, token_a), (b, token_b)):
+            ras.pop()
+            ras.push(666)
+            ras.restore(token)
+        assert a.logical_entries() == b.logical_entries()
+
+    def test_depth_two_repairs_second_entry(self):
+        ras = CircularRas(8, RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                          contents_depth=2)
+        for value in (100, 200, 300):
+            ras.push(value)
+        token = ras.checkpoint()
+        ras.pop()
+        ras.pop()
+        ras.push(666)   # overwrites the 200 slot
+        ras.push(667)   # overwrites the 300 slot
+        ras.restore(token)
+        assert ras.pop() == 300
+        assert ras.pop() == 200   # depth-1 could not repair this one
+
+    def test_depth_two_cannot_repair_third_entry(self):
+        ras = CircularRas(8, RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                          contents_depth=2)
+        for value in (100, 200, 300):
+            ras.push(value)
+        token = ras.checkpoint()
+        for _ in range(3):
+            ras.pop()
+        for value in (61, 62, 63):
+            ras.push(value)
+        ras.restore(token)
+        assert ras.pop() == 300
+        assert ras.pop() == 200
+        assert ras.pop() == 61    # below the saved window: corrupted
+
+    def test_full_depth_equals_full_stack(self):
+        contents = CircularRas(4, RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                               contents_depth=4)
+        full = CircularRas(4, RepairMechanism.FULL_STACK)
+        for ras in (contents, full):
+            for value in (1, 2, 3, 4):
+                ras.push(value)
+        token_c, token_f = contents.checkpoint(), full.checkpoint()
+        for ras, token in ((contents, token_c), (full, token_f)):
+            for _ in range(4):
+                ras.pop()
+            for value in (9, 8, 7):
+                ras.push(value)
+            ras.restore(token)
+        assert contents.logical_entries() == full.logical_entries()
+
+    def test_depth_validated(self):
+        with pytest.raises(ConfigError):
+            CircularRas(4, RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                        contents_depth=5)
+        with pytest.raises(ConfigError):
+            CircularRas(4, RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                        contents_depth=0)
+
+    def test_clone_preserves_depth(self):
+        ras = CircularRas(8, RepairMechanism.TOS_POINTER_AND_CONTENTS,
+                          contents_depth=3)
+        assert ras.clone().contents_depth == 3
+
+    def test_config_helper(self):
+        from repro.config import baseline_config
+        config = baseline_config().with_contents_depth(4)
+        assert config.predictor.repair_contents_depth == 4
+        assert (config.predictor.ras_repair
+                is RepairMechanism.TOS_POINTER_AND_CONTENTS)
+
+    def test_config_depth_validated(self):
+        from repro.config import BranchPredictorConfig
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(ras_entries=8, repair_contents_depth=9)

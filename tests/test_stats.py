@@ -1,0 +1,141 @@
+"""Unit tests for the statistics primitives."""
+
+import pytest
+
+from repro.stats import Counter, Histogram, Rate, StatGroup, format_stat_group, format_table
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_increment_default(self):
+        c = Counter("c")
+        c.increment()
+        c.increment()
+        assert c.value == 2
+
+    def test_increment_amount(self):
+        c = Counter("c")
+        c.increment(5)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter("c")
+        c.increment(3)
+        c.reset()
+        assert c.value == 0
+
+    def test_int_conversion(self):
+        c = Counter("c")
+        c.increment(7)
+        assert int(c) == 7
+
+
+class TestRate:
+    def test_undefined_before_events(self):
+        assert Rate("r").value is None
+
+    def test_hit_rate(self):
+        r = Rate("r")
+        for outcome in (True, True, False, True):
+            r.record(outcome)
+        assert r.value == pytest.approx(0.75)
+        assert r.misses == 1
+
+    def test_record_many(self):
+        r = Rate("r")
+        r.record_many(30, 40)
+        assert r.value == pytest.approx(0.75)
+
+    def test_reset(self):
+        r = Rate("r")
+        r.record(True)
+        r.reset()
+        assert r.value is None
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram("h")
+        assert h.total == 0
+        assert h.mean is None
+        assert h.max_key is None
+        assert h.percentile(0.5) is None
+
+    def test_mean_and_max(self):
+        h = Histogram("h")
+        h.record(1, 2)
+        h.record(3)
+        assert h.total == 3
+        assert h.mean == pytest.approx((1 + 1 + 3) / 3)
+        assert h.max_key == 3
+
+    def test_percentile(self):
+        h = Histogram("h")
+        for key in range(1, 11):
+            h.record(key)
+        assert h.percentile(0.5) == 5
+        assert h.percentile(1.0) == 10
+
+    def test_items_sorted(self):
+        h = Histogram("h")
+        h.record(5)
+        h.record(1)
+        h.record(3)
+        assert [k for k, _ in h.items()] == [1, 3, 5]
+
+
+class TestStatGroup:
+    def test_registers_and_lookups(self):
+        g = StatGroup("g")
+        c = g.counter("hits")
+        r = g.rate("accuracy")
+        assert g["hits"] is c
+        assert g["accuracy"] is r
+        assert "hits" in g
+        assert set(g.names()) == {"hits", "accuracy"}
+
+    def test_duplicate_name_rejected(self):
+        g = StatGroup("g")
+        g.counter("x")
+        with pytest.raises(ValueError):
+            g.rate("x")
+
+    def test_reset_propagates(self):
+        g = StatGroup("g")
+        c = g.counter("c")
+        c.increment(4)
+        g.reset()
+        assert c.value == 0
+
+    def test_format_stat_group(self):
+        g = StatGroup("demo")
+        g.counter("events").increment(3)
+        g.rate("rate").record(True)
+        g.histogram("depth").record(2)
+        text = format_stat_group(g)
+        assert "demo" in text
+        assert "events" in text
+        assert "depth.mean" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_values(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.23456], ["bb", None]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        assert "n/a" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_bool_rendering(self):
+        text = format_table(["x"], [[True], [False]])
+        assert "yes" in text and "no" in text

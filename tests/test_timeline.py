@@ -1,0 +1,60 @@
+"""Unit tests for the pipeline timeline recorder/renderer."""
+
+import pytest
+
+from repro.pipeline import SinglePathCPU, TimelineRecorder, render_timeline
+from repro.workloads.kernels import fibonacci_kernel, loop_sum_kernel
+
+
+@pytest.fixture(scope="module")
+def fib_records():
+    recorder = TimelineRecorder(limit=40)
+    cpu = SinglePathCPU(fibonacci_kernel(6), commit_hook=recorder)
+    cpu.run()
+    return recorder.records
+
+
+class TestRecorder:
+    def test_limit_respected(self, fib_records):
+        assert len(fib_records) == 40
+
+    def test_stage_ordering(self, fib_records):
+        for record in fib_records:
+            assert record.fetch >= 0
+            assert record.fetch < record.dispatch
+            assert record.dispatch < record.issue
+            assert record.issue < record.complete
+            assert record.complete <= record.commit
+
+    def test_commit_order_is_program_order(self, fib_records):
+        commits = [record.commit for record in fib_records]
+        assert commits == sorted(commits)
+
+    def test_unlimited_recorder(self):
+        recorder = TimelineRecorder()
+        cpu = SinglePathCPU(loop_sum_kernel(25), commit_hook=recorder)
+        result = cpu.run()
+        assert len(recorder.records) == result.instructions
+
+
+class TestRenderer:
+    def test_renders_stage_letters(self, fib_records):
+        text = render_timeline(fib_records, count=8)
+        lines = text.splitlines()
+        assert len(lines) == 8
+        for line in lines:
+            for letter in "FDIC":
+                assert letter in line
+
+    def test_empty_records(self):
+        assert "no timeline" in render_timeline([])
+
+    def test_window_selection(self, fib_records):
+        text = render_timeline(fib_records, start=5, count=3)
+        assert len(text.splitlines()) == 3
+
+    def test_width_capped(self, fib_records):
+        text = render_timeline(fib_records, count=30, max_width=40)
+        for line in text.splitlines():
+            # "pc=XXXXXX opcode " prefix is 17 chars
+            assert len(line) <= 17 + 40
