@@ -4,6 +4,8 @@ Examples:
     repro-sim table1
     repro-sim table4 --scale 0.25
     repro-sim hit-rates --names li vortex --scale 0.5
+    repro-sim speedup --jobs 4                 # parallel, cached
+    repro-sim speedup --no-cache --json f2.json
     repro-sim run --benchmark li --mechanism tos-pointer-contents
     repro-sim run --benchmark go --paths 4 --stacks per-path
 """
@@ -11,12 +13,14 @@ Examples:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.config.defaults import baseline_config
 from repro.config.options import RepairMechanism, StackOrganization
 from repro.core import tables as table_builders
+from repro.core.executor import ResultCache, SweepExecutor, default_jobs
 from repro.core.experiment import (
     default_scale,
     default_seed,
@@ -30,25 +34,26 @@ from repro.workloads.generator import build_workload
 from repro.workloads.profiles import BENCHMARK_NAMES
 
 _TABLE_COMMANDS = {
-    "table1": lambda args: table_builders.table1(),
-    "table3": lambda args: table_builders.table3_baseline(
-        args.names, args.seed, args.scale),
-    "table4": lambda args: table_builders.table4_btb_only(
-        args.names, args.seed, args.scale),
-    "hit-rates": lambda args: table_builders.fig_hit_rates(
-        names=args.names, seed=args.seed, scale=args.scale),
-    "speedup": lambda args: table_builders.fig_speedup(
-        args.names, args.seed, args.scale),
-    "stack-depth": lambda args: table_builders.fig_stack_depth(
-        names=args.names, seed=args.seed, scale=args.scale),
-    "multipath": lambda args: table_builders.fig_multipath(
-        names=args.names, seed=args.seed, scale=args.scale),
-    "ablation-mechanisms": lambda args: table_builders.ablation_mechanisms(
-        args.names, args.seed, args.scale),
-    "ablation-shadow": lambda args: table_builders.ablation_shadow_slots(
-        names=args.names, seed=args.seed, scale=args.scale),
-    "ablation-fastsim": lambda args: table_builders.ablation_fastsim_crosscheck(
-        args.names, args.seed, args.scale),
+    "table1": lambda args, ex: table_builders.table1(),
+    "table3": lambda args, ex: table_builders.table3_baseline(
+        args.names, args.seed, args.scale, executor=ex),
+    "table4": lambda args, ex: table_builders.table4_btb_only(
+        args.names, args.seed, args.scale, executor=ex),
+    "hit-rates": lambda args, ex: table_builders.fig_hit_rates(
+        names=args.names, seed=args.seed, scale=args.scale, executor=ex),
+    "speedup": lambda args, ex: table_builders.fig_speedup(
+        args.names, args.seed, args.scale, executor=ex),
+    "stack-depth": lambda args, ex: table_builders.fig_stack_depth(
+        names=args.names, seed=args.seed, scale=args.scale, executor=ex),
+    "multipath": lambda args, ex: table_builders.fig_multipath(
+        names=args.names, seed=args.seed, scale=args.scale, executor=ex),
+    "ablation-mechanisms": lambda args, ex: table_builders.ablation_mechanisms(
+        args.names, args.seed, args.scale, executor=ex),
+    "ablation-shadow": lambda args, ex: table_builders.ablation_shadow_slots(
+        names=args.names, seed=args.seed, scale=args.scale, executor=ex),
+    "ablation-fastsim":
+        lambda args, ex: table_builders.ablation_fastsim_crosscheck(
+            args.names, args.seed, args.scale, executor=ex),
 }
 
 
@@ -67,6 +72,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="benchmarks to run (default: varies)")
         p.add_argument("--seed", type=int, default=default_seed())
         p.add_argument("--scale", type=float, default=default_scale())
+        p.add_argument("--jobs", type=int, default=default_jobs(),
+                       help="worker processes for independent simulations "
+                            "(default: $REPRO_JOBS or 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore and don't update the on-disk result "
+                            "cache (see docs/performance.md)")
+        p.add_argument("--json", metavar="OUT", default=None,
+                       help="also write the table as JSON to OUT "
+                            "(table commands only)")
 
     for name in _TABLE_COMMANDS:
         p = sub.add_parser(name, help=f"print {name}")
@@ -143,12 +157,41 @@ def _run_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_executor(args: argparse.Namespace) -> SweepExecutor:
+    cache = None if getattr(args, "no_cache", False) else ResultCache.default()
+    return SweepExecutor(jobs=getattr(args, "jobs", None), cache=cache)
+
+
+def _write_json(args: argparse.Namespace, title: str, headers, rows) -> int:
+    payload = {
+        "command": args.command,
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "seed": getattr(args, "seed", None),
+        "scale": getattr(args, "scale", None),
+    }
+    try:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
+    except OSError as error:
+        print(f"repro-sim: cannot write --json {args.json}: {error}",
+              file=sys.stderr)
+        return 1
+    print(f"json written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _fix_names(args)
     if args.command in _TABLE_COMMANDS:
-        title, headers, rows = _TABLE_COMMANDS[args.command](args)
+        executor = _make_executor(args)
+        title, headers, rows = _TABLE_COMMANDS[args.command](args, executor)
         print(format_table(headers, rows, title=title))
+        if args.json:
+            return _write_json(args, title, headers, rows)
         return 0
     if args.command == "table2":
         print(build_table2(args.names, seed=args.seed, scale=args.scale))
@@ -230,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             full=args.full,
             progress=lambda section: print(f"... {section}",
                                            file=sys.stderr),
+            executor=_make_executor(args),
         )
         if args.out:
             with open(args.out, "w") as handle:

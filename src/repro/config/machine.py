@@ -7,7 +7,10 @@ itself on construction so misconfigured experiments fail fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import enum
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.config.options import RepairMechanism, StackOrganization
@@ -217,6 +220,29 @@ class MachineConfig:
     predictor: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
     memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
     multipath: MultipathConfig = field(default_factory=MultipathConfig)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the complete configuration.
+
+        Two configs fingerprint equally iff every field (across core,
+        predictor, memory, and multipath) is equal, independent of how
+        the config was constructed. The experiment result cache keys on
+        this, so the digest must only depend on field values — enums
+        are reduced to their stable ``.value`` strings, never to
+        ``repr`` or identity.
+        """
+        def plain(value: object) -> object:
+            if isinstance(value, enum.Enum):
+                return value.value
+            if isinstance(value, dict):
+                return {key: plain(item) for key, item in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [plain(item) for item in value]
+            return value
+
+        payload = json.dumps(plain(asdict(self)), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def with_repair(self, mechanism: RepairMechanism) -> "MachineConfig":
         """Return a copy of this config using ``mechanism`` for RAS repair."""

@@ -1,11 +1,18 @@
 """Experiment drivers: one function per table/figure of the paper.
 
 This package is the reproduction's control room. ``experiment`` holds
-the engine-agnostic runners; ``tables`` builds the exact rows each
-bench target prints; ``sweep`` holds the parameter sweeps (stack depth,
-shadow slots, path counts).
+the engine-agnostic runners; ``executor`` schedules independent jobs
+over worker processes with an on-disk result cache; ``tables`` builds
+the exact rows each bench target prints; ``sweep`` holds the parameter
+sweeps (stack depth, shadow slots, path counts).
 """
 
+from repro.core.executor import (
+    ExperimentJob,
+    JobResult,
+    ResultCache,
+    SweepExecutor,
+)
 from repro.core.experiment import (
     WorkloadSpec,
     build_program,
@@ -31,6 +38,10 @@ from repro.core.tables import (
 )
 
 __all__ = [
+    "ExperimentJob",
+    "JobResult",
+    "ResultCache",
+    "SweepExecutor",
     "WorkloadSpec",
     "ablation_btb_capacity",
     "ablation_contents_depth",

@@ -1,0 +1,395 @@
+"""Parallel experiment execution with on-disk result caching.
+
+Every table and figure of the reproduction decomposes into independent
+``(workload, machine config, engine)`` simulations, so the harness is
+embarrassingly parallel. This module gives the experiment layer one
+scheduling point:
+
+* :class:`ExperimentJob` names one simulation. When the workload is a
+  :class:`~repro.core.experiment.WorkloadSpec` the job has a stable
+  identity and is cacheable; passing a raw
+  :class:`~repro.isa.program.Program` still runs, just uncached.
+* :class:`JobResult` is the picklable, JSON-able summary a worker
+  process sends back — headline numbers plus every counter and rate the
+  engine recorded, so table builders never need the live CPU object.
+* :class:`ResultCache` is a content-addressed store: the key hashes the
+  workload identity, :meth:`MachineConfig.fingerprint`, the engine, and
+  a fingerprint of the installed ``repro`` sources, so editing any
+  simulator file invalidates every cached result automatically.
+* :class:`SweepExecutor` resolves cache hits, fans the misses out over a
+  ``ProcessPoolExecutor`` (fork-based where available), and falls back
+  to deterministic in-process execution for ``jobs=1`` or when the
+  platform refuses to give us a pool. Results always come back in
+  submission order, so parallel and serial runs are bit-identical.
+
+Environment knobs (see docs/performance.md):
+
+* ``REPRO_JOBS`` — default worker count (default 1).
+* ``REPRO_CACHE_DIR`` — cache root (default ``~/.cache/repro-sim``).
+* ``REPRO_CACHE=0`` — disable the default cache entirely.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import functools
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+import repro
+from repro.config.machine import MachineConfig
+from repro.core.experiment import (
+    WorkloadSpec,
+    build_program,
+    run_cycle,
+    run_fast,
+    run_multipath,
+)
+from repro.errors import ConfigError
+from repro.isa.program import Program
+from repro.stats.counters import Counter, Rate
+
+#: Engines a job may name, mapping onto the three simulator families.
+ENGINES = ("cycle", "fast", "multipath")
+
+#: Bump when the cached JobResult schema changes shape.
+CACHE_SCHEMA = 1
+
+#: In-process count of actual simulator invocations (cache misses that
+#: really simulated). Worker processes keep their own copies; with the
+#: serial path this is an exact invocation counter, which the tests use
+#: to prove that warm-cache reruns never touch a simulator.
+SIMULATION_CALLS = 0
+
+
+def simulation_calls() -> int:
+    """Simulator invocations made by *this* process so far."""
+    return SIMULATION_CALLS
+
+
+def default_jobs() -> int:
+    """Default worker count, overridable via REPRO_JOBS."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file.
+
+    Part of each cache key: editing any simulator source produces a new
+    fingerprint, so stale results can never be served after a code
+    change — no manual cache flushing, no version bookkeeping.
+    """
+    package_root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Jobs and results.
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentJob:
+    """One independent simulation: workload x config x engine.
+
+    ``workload`` is normally a :class:`WorkloadSpec` (cacheable and
+    cheap to ship to worker processes — each worker rebuilds and
+    memoises the program locally). A prebuilt :class:`Program` is also
+    accepted for ad-hoc experiments; such jobs run fine but bypass the
+    cache because a raw program has no stable identity to key on.
+    """
+
+    workload: Union[WorkloadSpec, Program]
+    config: MachineConfig
+    engine: str = "cycle"
+    max_instructions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+
+    @property
+    def cacheable(self) -> bool:
+        return isinstance(self.workload, WorkloadSpec)
+
+    def program(self) -> Program:
+        if isinstance(self.workload, WorkloadSpec):
+            return build_program(self.workload)
+        return self.workload
+
+    def cache_key(self) -> Optional[str]:
+        """Content hash identifying this job's inputs, or ``None`` when
+        the workload is a raw program (uncacheable)."""
+        if not isinstance(self.workload, WorkloadSpec):
+            return None
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "workload": {
+                    "name": self.workload.name,
+                    "seed": self.workload.seed,
+                    "scale": self.workload.scale,
+                },
+                "config": self.config.fingerprint(),
+                "engine": self.engine,
+                "max_instructions": self.max_instructions,
+                "code": code_fingerprint(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class JobResult:
+    """Picklable summary of one simulation.
+
+    Carries the headline numbers plus every counter and rate the engine
+    registered, so builders can ask for anything a live ``SimResult``
+    offered without holding simulator objects (which do not survive a
+    trip through a process pool or the on-disk cache).
+    """
+
+    engine: str
+    instructions: int
+    cycles: float
+    ipc: float
+    counters: Dict[str, int]
+    rates: Dict[str, Optional[float]]
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def rate(self, name: str) -> Optional[float]:
+        return self.rates.get(name)
+
+    @property
+    def return_accuracy(self) -> Optional[float]:
+        return self.rate("return_accuracy")
+
+    @property
+    def cond_accuracy(self) -> Optional[float]:
+        return self.rate("cond_accuracy")
+
+    @property
+    def indirect_accuracy(self) -> Optional[float]:
+        return self.rate("indirect_accuracy")
+
+    @property
+    def btb_hit_rate(self) -> Optional[float]:
+        return self.rate("btb_hit_rate")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Headline stats, same keys as ``SimResult.as_dict``."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "cond_accuracy": self.cond_accuracy,
+            "return_accuracy": self.return_accuracy,
+            "indirect_accuracy": self.indirect_accuracy,
+            "mispredictions": self.counter("mispredictions"),
+            "squashed": self.counter("squashed"),
+            "ras_overflows": self.counter("ras_overflows"),
+            "ras_underflows": self.counter("ras_underflows"),
+        }
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "JobResult":
+        return cls(
+            engine=str(data["engine"]),
+            instructions=int(data["instructions"]),  # type: ignore[arg-type]
+            cycles=float(data["cycles"]),  # type: ignore[arg-type]
+            ipc=float(data["ipc"]),  # type: ignore[arg-type]
+            counters={str(k): int(v) for k, v in data["counters"].items()},  # type: ignore[union-attr]
+            rates={
+                str(k): (None if v is None else float(v))
+                for k, v in data["rates"].items()  # type: ignore[union-attr]
+            },
+        )
+
+
+def _group_stats(group) -> Dict[str, Dict[str, object]]:
+    counters: Dict[str, int] = {}
+    rates: Dict[str, Optional[float]] = {}
+    for name in group.names():
+        stat = group[name]
+        if isinstance(stat, Counter):
+            counters[name] = stat.value
+        elif isinstance(stat, Rate):
+            rates[name] = stat.value
+    return {"counters": counters, "rates": rates}
+
+
+def run_job(job: ExperimentJob) -> JobResult:
+    """Execute one job in this process and summarise the outcome.
+
+    This is the worker entry point for both the serial path and the
+    process pool (it is module-level precisely so spawn-based platforms
+    can pickle it).
+    """
+    global SIMULATION_CALLS
+    SIMULATION_CALLS += 1
+    program = job.program()
+    if job.engine == "cycle":
+        result, cpu = run_cycle(program, job.config,
+                                max_instructions=job.max_instructions)
+        stats = _group_stats(result.group)
+        stats["rates"]["btb_hit_rate"] = cpu.frontend.btb.hit_rate
+        return JobResult(engine=job.engine, instructions=result.instructions,
+                         cycles=result.cycles, ipc=result.ipc, **stats)
+    if job.engine == "multipath":
+        result, _ = run_multipath(program, job.config,
+                                  max_instructions=job.max_instructions)
+        stats = _group_stats(result.group)
+        return JobResult(engine=job.engine, instructions=result.instructions,
+                         cycles=result.cycles, ipc=result.ipc, **stats)
+    fast = run_fast(program, job.config)
+    stats = _group_stats(fast.group)
+    return JobResult(engine=job.engine, instructions=fast.instructions,
+                     cycles=fast.estimated_cycles, ipc=fast.estimated_ipc,
+                     **stats)
+
+
+# ----------------------------------------------------------------------
+# On-disk cache.
+
+class ResultCache:
+    """Content-addressed store of :class:`JobResult` JSON blobs.
+
+    Layout: ``<root>/v<schema>/<key[:2]>/<key>.json``. Entries are
+    immutable — a key encodes every input including the code
+    fingerprint, so a hit is always safe to serve and invalidation is
+    just "the key changed". Corrupt, truncated, or stale entries are
+    treated as misses, never as errors.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = pathlib.Path(root) / f"v{CACHE_SCHEMA}"
+
+    @staticmethod
+    def default_root() -> pathlib.Path:
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if env:
+            return pathlib.Path(env)
+        return pathlib.Path.home() / ".cache" / "repro-sim"
+
+    @classmethod
+    def default(cls) -> Optional["ResultCache"]:
+        """The process-default cache, or ``None`` when REPRO_CACHE=0."""
+        if os.environ.get("REPRO_CACHE", "1") == "0":
+            return None
+        return cls(cls.default_root())
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[JobResult]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("key") != key:  # stale or hash-collided entry
+                return None
+            return JobResult.from_json_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def put(self, key: str, result: JobResult) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {"key": key, "result": result.to_json_dict()}
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)  # atomic: readers never see partial writes
+        except OSError:
+            pass  # a read-only cache dir degrades to "no cache"
+
+
+# ----------------------------------------------------------------------
+# The executor.
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - fork-less platform
+        return None
+
+
+class SweepExecutor:
+    """Schedules independent experiment jobs, with caching.
+
+    ``run`` preserves submission order, so any sweep routed through the
+    executor produces identical rows at every ``jobs`` setting. With
+    ``jobs > 1`` cache misses fan out over a process pool; fork-based
+    where the platform offers it (workers inherit warm program caches),
+    spawn otherwise, and a broken pool degrades to the serial path
+    rather than failing the sweep.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Union[ResultCache, None, str] = "default",
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if cache == "default":
+            self.cache: Optional[ResultCache] = ResultCache.default()
+        else:
+            self.cache = cache  # type: ignore[assignment]
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def run(self, jobs: Sequence[ExperimentJob]) -> List[JobResult]:
+        """Run every job, returning results in submission order."""
+        jobs = list(jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(jobs)
+        for index, job in enumerate(jobs):
+            key = job.cache_key() if self.cache is not None else None
+            keys[index] = key
+            cached = self.cache.get(key) if key else None
+            if cached is not None:
+                results[index] = cached
+                self.cache_hits += 1
+            else:
+                if key:
+                    self.cache_misses += 1
+                pending.append(index)
+        if pending:
+            for index, result in zip(pending, self._execute(
+                    [jobs[i] for i in pending])):
+                results[index] = result
+                if keys[index] and self.cache is not None:
+                    self.cache.put(keys[index], result)
+        return results  # type: ignore[return-value]
+
+    def _execute(self, jobs: List[ExperimentJob]) -> List[JobResult]:
+        if self.jobs > 1 and len(jobs) > 1:
+            try:
+                return self._execute_pool(jobs)
+            except (OSError, concurrent.futures.process.BrokenProcessPool,
+                    concurrent.futures.BrokenExecutor):
+                pass  # e.g. sandboxed semaphores; fall through to serial
+        return [run_job(job) for job in jobs]
+
+    def _execute_pool(self, jobs: List[ExperimentJob]) -> List[JobResult]:
+        workers = min(self.jobs, len(jobs))
+        context = _fork_context()
+        kwargs = {"mp_context": context} if context is not None else {}
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, **kwargs) as pool:
+            return list(pool.map(run_job, jobs))

@@ -33,7 +33,15 @@ def default_seed() -> int:
 
 @dataclasses.dataclass(frozen=True)
 class WorkloadSpec:
-    """Identifies one synthetic-benchmark build."""
+    """Identifies one synthetic-benchmark build.
+
+    The triple ``(name, seed, scale)`` fully determines the generated
+    program (workload generation is seeded and deterministic), which
+    makes a spec the unit of identity for both program memoisation and
+    the executor's on-disk result cache. Specs are tiny and picklable,
+    so they — not built programs — are what jobs ship to worker
+    processes.
+    """
 
     name: str
     seed: int = 1
@@ -46,7 +54,15 @@ def _cached_build(name: str, seed: int, scale: float) -> Program:
 
 
 def build_program(spec: WorkloadSpec) -> Program:
-    """Build (and memoise) the program for ``spec``."""
+    """Build (and memoise) the program for ``spec``.
+
+    Memoisation contract: within one process, equal specs return the
+    *same* ``Program`` object (LRU keyed on ``(name, seed, scale)``),
+    so a sweep of N configs over one workload pays for one build. Each
+    executor worker process holds its own memo, warmed on first use —
+    callers should pass specs around and resolve them as late as
+    possible rather than pre-building programs.
+    """
     return _cached_build(spec.name, spec.seed, spec.scale)
 
 

@@ -55,6 +55,7 @@ def build_report(
     scale: float = 0.25,
     full: bool = False,
     progress=None,
+    executor=None,
 ) -> str:
     """Build the text report.
 
@@ -63,6 +64,8 @@ def build_report(
         seed, scale: experiment knobs (see DESIGN.md).
         full: include the slow sections (multipath, ablations).
         progress: optional callable invoked with each section id.
+        executor: optional :class:`~repro.core.executor.SweepExecutor`
+            shared by every section (parallelism + result caching).
     """
     started = time.time()
     parts: List[str] = [
@@ -86,9 +89,10 @@ def build_report(
             table_title, headers, rows = builder()
         elif takes_names:
             table_title, headers, rows = builder(
-                names=names, seed=seed, scale=scale)
+                names=names, seed=seed, scale=scale, executor=executor)
         else:
-            table_title, headers, rows = builder(seed=seed, scale=scale)
+            table_title, headers, rows = builder(
+                seed=seed, scale=scale, executor=executor)
         parts.append(format_table(headers, rows, title=table_title))
     parts.append("")
     parts.append(f"(generated in {time.time() - started:.1f}s; see "

@@ -4,12 +4,20 @@ Each function returns ``(title, headers, rows)`` ready for
 :func:`repro.stats.format_table`; the benchmark targets under
 ``benchmarks/`` print them, and EXPERIMENTS.md records representative
 output against the paper's claims.
+
+Every builder decomposes its grid into independent
+:class:`~repro.core.executor.ExperimentJob` instances and submits them
+through a :class:`~repro.core.executor.SweepExecutor` in a single
+``run`` call, so one ``--jobs N`` flag parallelises the whole table and
+the on-disk result cache skips any cell whose inputs are unchanged.
+Rows are assembled from the executor's order-preserving results, which
+makes parallel and serial output bit-identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.config.defaults import baseline_config, table1_rows
 from repro.config.options import (
@@ -17,14 +25,8 @@ from repro.config.options import (
     RepairMechanism,
     StackOrganization,
 )
-from repro.core.experiment import (
-    WorkloadSpec,
-    build_program,
-    multipath_machine,
-    run_cycle,
-    run_fast,
-    run_multipath,
-)
+from repro.core.executor import ExperimentJob, JobResult, SweepExecutor
+from repro.core.experiment import WorkloadSpec, multipath_machine
 from repro.workloads.profiles import BENCHMARK_NAMES
 
 TableData = Tuple[str, List[str], List[List[object]]]
@@ -40,6 +42,16 @@ def _pct(value: Optional[float]) -> Optional[float]:
     return None if value is None else round(100.0 * value, 2)
 
 
+def _executor(executor: Optional[SweepExecutor]) -> SweepExecutor:
+    return executor if executor is not None else SweepExecutor()
+
+
+def _chunks(results: Sequence[JobResult], size: int) -> Iterator[List[JobResult]]:
+    """Split a flat result list back into per-row groups of ``size``."""
+    for start in range(0, len(results), size):
+        yield list(results[start:start + size])
+
+
 # ----------------------------------------------------------------------
 # T1 / T3 / T4.
 
@@ -53,12 +65,14 @@ def table3_baseline(
     names: Sequence[str] = BENCHMARK_NAMES,
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """T3: baseline control-flow prediction on the cycle model."""
+    specs = _specs(names, seed, scale)
+    jobs = [ExperimentJob(spec, baseline_config(), "cycle") for spec in specs]
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        result, cpu = run_cycle(program, baseline_config())
+    for spec, result in zip(specs, results):
         rows.append([
             spec.name,
             result.instructions,
@@ -66,7 +80,7 @@ def table3_baseline(
             _pct(result.cond_accuracy),
             _pct(result.return_accuracy),
             _pct(result.indirect_accuracy),
-            _pct(cpu.frontend.btb.hit_rate),
+            _pct(result.btb_hit_rate),
             result.counter("mispredictions"),
         ])
     headers = ["benchmark", "insts", "ipc", "cond acc %", "ret acc %",
@@ -78,23 +92,27 @@ def table4_btb_only(
     names: Sequence[str] = BENCHMARK_NAMES,
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """T4: return prediction without a RAS (BTB only).
 
     The paper: "Without a return-address stack, return addresses are
     found in the BTB only a little over half the time."
     """
+    specs = _specs(names, seed, scale)
+    jobs: List[ExperimentJob] = []
+    for spec in specs:
+        jobs.append(ExperimentJob(spec, baseline_config().without_ras(),
+                                  "cycle"))
+        jobs.append(ExperimentJob(spec, baseline_config(), "cycle"))
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        config = baseline_config().without_ras()
-        result, cpu = run_cycle(program, config)
-        with_ras, _ = run_cycle(program, baseline_config())
+    for spec, (btb_only, with_ras) in zip(specs, _chunks(results, 2)):
         rows.append([
             spec.name,
-            _pct(result.return_accuracy),
+            _pct(btb_only.return_accuracy),
             _pct(with_ras.return_accuracy),
-            round(result.ipc, 3),
+            round(btb_only.ipc, 3),
             round(with_ras.ipc, 3),
         ])
     headers = ["benchmark", "btb-only ret acc %", "with-RAS ret acc %",
@@ -110,18 +128,20 @@ def fig_hit_rates(
     mechanisms: Iterable[RepairMechanism] = PRIMARY_MECHANISMS,
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """F1: committed-return hit rate by repair mechanism."""
     mechanisms = list(mechanisms)
+    specs = _specs(names, seed, scale)
+    jobs = [
+        ExperimentJob(spec, baseline_config().with_repair(mechanism), "cycle")
+        for spec in specs for mechanism in mechanisms
+    ]
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        row: List[object] = [spec.name]
-        for mechanism in mechanisms:
-            config = baseline_config().with_repair(mechanism)
-            result, _ = run_cycle(program, config)
-            row.append(_pct(result.return_accuracy))
-        rows.append(row)
+    for spec, chunk in zip(specs, _chunks(results, len(mechanisms))):
+        rows.append([spec.name]
+                    + [_pct(result.return_accuracy) for result in chunk])
     headers = ["benchmark"] + [f"{m} %" for m in mechanisms]
     return ("Figure: return-address-stack hit rates by repair mechanism",
             headers, rows)
@@ -134,23 +154,29 @@ def fig_speedup(
     names: Sequence[str] = BENCHMARK_NAMES,
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """F2: IPC speedup of repair over no-repair and over BTB-only.
 
     The paper reports up to ~8.7% over no repair and up to ~15% over
     BTB-only prediction for the pointer+contents mechanism.
     """
-    rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        btb_only, _ = run_cycle(program, baseline_config().without_ras())
-        none, _ = run_cycle(
-            program, baseline_config().with_repair(RepairMechanism.NONE))
-        repaired, _ = run_cycle(
-            program,
+    specs = _specs(names, seed, scale)
+    jobs: List[ExperimentJob] = []
+    for spec in specs:
+        jobs.append(ExperimentJob(spec, baseline_config().without_ras(),
+                                  "cycle"))
+        jobs.append(ExperimentJob(
+            spec, baseline_config().with_repair(RepairMechanism.NONE),
+            "cycle"))
+        jobs.append(ExperimentJob(
+            spec,
             baseline_config().with_repair(
                 RepairMechanism.TOS_POINTER_AND_CONTENTS),
-        )
+            "cycle"))
+    results = _executor(executor).run(jobs)
+    rows = []
+    for spec, (btb_only, none, repaired) in zip(specs, _chunks(results, 3)):
         rows.append([
             spec.name,
             round(btb_only.ipc, 3),
@@ -173,6 +199,7 @@ def fig_stack_depth(
     mechanism: RepairMechanism = RepairMechanism.TOS_POINTER_AND_CONTENTS,
     seed: int = 1,
     scale: float = 0.5,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """F3: return hit rate vs stack depth.
 
@@ -180,17 +207,17 @@ def fig_stack_depth(
     curves flatten once the stack covers the common call depth. Uses
     the fast model so that eight sizes x several workloads stay cheap.
     """
+    specs = _specs(names, seed, scale)
+    repaired = baseline_config().with_repair(mechanism)
+    jobs = [
+        ExperimentJob(spec, repaired.with_ras_entries(size), "fast")
+        for spec in specs for size in sizes
+    ]
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        row: List[object] = [spec.name]
-        for size in sizes:
-            config = (baseline_config()
-                      .with_repair(mechanism)
-                      .with_ras_entries(size))
-            result = run_fast(program, config)
-            row.append(_pct(result.return_accuracy))
-        rows.append(row)
+    for spec, chunk in zip(specs, _chunks(results, len(sizes))):
+        rows.append([spec.name]
+                    + [_pct(result.return_accuracy) for result in chunk])
     headers = ["benchmark"] + [f"{size}-entry %" for size in sizes]
     return (f"Figure: hit rate vs stack depth ({mechanism})", headers, rows)
 
@@ -203,6 +230,7 @@ def fig_multipath(
     path_counts: Sequence[int] = (2, 4),
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """F4: relative IPC of stack organisations under multipath.
 
@@ -211,24 +239,28 @@ def fig_multipath(
     call-dense workloads and full checkpointing should not help.
     """
     organizations = list(StackOrganization)
+    specs = _specs(names, seed, scale)
+    grid = [(spec, paths) for spec in specs for paths in path_counts]
+    jobs = [
+        ExperimentJob(spec, multipath_machine(paths, organization),
+                      "multipath")
+        for spec, paths in grid for organization in organizations
+    ]
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        for paths in path_counts:
-            ipcs = {}
-            accs = {}
-            for organization in organizations:
-                config = multipath_machine(paths, organization)
-                result, _ = run_multipath(program, config)
-                ipcs[organization] = result.ipc
-                accs[organization] = result.return_accuracy
-            unified = ipcs[StackOrganization.UNIFIED] or 1e-9
-            row: List[object] = [spec.name, paths]
-            for organization in organizations:
-                row.append(round(ipcs[organization] / unified, 4))
-            for organization in organizations:
-                row.append(_pct(accs[organization]))
-            rows.append(row)
+    for (spec, paths), chunk in zip(grid,
+                                    _chunks(results, len(organizations))):
+        ipcs = {organization: result.ipc
+                for organization, result in zip(organizations, chunk)}
+        accs = {organization: result.return_accuracy
+                for organization, result in zip(organizations, chunk)}
+        unified = ipcs[StackOrganization.UNIFIED] or 1e-9
+        row: List[object] = [spec.name, paths]
+        for organization in organizations:
+            row.append(round(ipcs[organization] / unified, 4))
+        for organization in organizations:
+            row.append(_pct(accs[organization]))
+        rows.append(row)
     headers = (["benchmark", "paths"]
                + [f"{o} rel-ipc" for o in organizations]
                + [f"{o} ret %" for o in organizations])
@@ -243,18 +275,20 @@ def ablation_mechanisms(
     names: Sequence[str] = ("li", "vortex", "go"),
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """A1: all six mechanisms, including the related-work variants."""
     mechanisms = list(RepairMechanism)
+    specs = _specs(names, seed, scale)
+    jobs = [
+        ExperimentJob(spec, baseline_config().with_repair(mechanism), "cycle")
+        for spec in specs for mechanism in mechanisms
+    ]
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        row: List[object] = [spec.name]
-        for mechanism in mechanisms:
-            config = baseline_config().with_repair(mechanism)
-            result, _ = run_cycle(program, config)
-            row.append(_pct(result.return_accuracy))
-        rows.append(row)
+    for spec, chunk in zip(specs, _chunks(results, len(mechanisms))):
+        rows.append([spec.name]
+                    + [_pct(result.return_accuracy) for result in chunk])
     headers = ["benchmark"] + [f"{m} %" for m in mechanisms]
     return ("Ablation: every repair mechanism (incl. valid bits and "
             "self-checkpointing)", headers, rows)
@@ -265,22 +299,26 @@ def ablation_shadow_slots(
     slot_counts: Sequence[Optional[int]] = (1, 2, 4, 8, 20, None),
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """A2: limited shadow-checkpoint slots (R10000=4, 21264~20)."""
+    specs = _specs(names, seed, scale)
+    base = baseline_config()
+    configs = [
+        dataclasses.replace(
+            base,
+            predictor=dataclasses.replace(
+                base.predictor, shadow_checkpoint_slots=slots),
+        )
+        for slots in slot_counts
+    ]
+    jobs = [ExperimentJob(spec, config, "cycle")
+            for spec in specs for config in configs]
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        row: List[object] = [spec.name]
-        for slots in slot_counts:
-            base = baseline_config()
-            config = dataclasses.replace(
-                base,
-                predictor=dataclasses.replace(
-                    base.predictor, shadow_checkpoint_slots=slots),
-            )
-            result, _ = run_cycle(program, config)
-            row.append(_pct(result.return_accuracy))
-        rows.append(row)
+    for spec, chunk in zip(specs, _chunks(results, len(configs))):
+        rows.append([spec.name]
+                    + [_pct(result.return_accuracy) for result in chunk])
     headers = ["benchmark"] + [
         ("unlimited %" if slots is None else f"{slots} slots %")
         for slots in slot_counts
@@ -293,6 +331,7 @@ def ablation_btb_capacity(
     set_counts: Sequence[int] = (16, 64, 256, 512),
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """A10: BTB capacity and BTB-only return prediction.
 
@@ -301,21 +340,22 @@ def ablation_btb_capacity(
     multiple callers keep missing. Small BTBs add conflict misses on
     top. The gap to a RAS persists at every size.
     """
+    specs = _specs(names, seed, scale)
+    base = baseline_config().without_ras()
+    configs = [
+        dataclasses.replace(
+            base,
+            predictor=dataclasses.replace(base.predictor, btb_sets=sets),
+        )
+        for sets in set_counts
+    ] + [baseline_config()]
+    jobs = [ExperimentJob(spec, config, "cycle")
+            for spec in specs for config in configs]
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        row: List[object] = [spec.name]
-        for sets in set_counts:
-            base = baseline_config().without_ras()
-            config = dataclasses.replace(
-                base,
-                predictor=dataclasses.replace(base.predictor, btb_sets=sets),
-            )
-            result, _ = run_cycle(program, config)
-            row.append(_pct(result.return_accuracy))
-        with_ras, _ = run_cycle(program, baseline_config())
-        row.append(_pct(with_ras.return_accuracy))
-        rows.append(row)
+    for spec, chunk in zip(specs, _chunks(results, len(configs))):
+        rows.append([spec.name]
+                    + [_pct(result.return_accuracy) for result in chunk])
     headers = (["benchmark"]
                + [f"btb {sets}x4 %" for sets in set_counts]
                + ["32-entry RAS %"])
@@ -328,6 +368,7 @@ def ablation_contents_depth(
     depths: Sequence[int] = (1, 2, 4, 8, 32),
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """A8: checkpointing the top-k entries instead of just the top.
 
@@ -336,18 +377,18 @@ def ablation_contents_depth(
     checkpoint the entire return-address stack." k=1 is the paper's
     proposal; k=32 equals full-stack checkpointing on a 32-entry stack.
     """
+    specs = _specs(names, seed, scale)
+    configs = [baseline_config().with_contents_depth(depth)
+               for depth in depths]
+    configs.append(
+        baseline_config().with_repair(RepairMechanism.FULL_STACK))
+    jobs = [ExperimentJob(spec, config, "cycle")
+            for spec in specs for config in configs]
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        row: List[object] = [spec.name]
-        for depth in depths:
-            config = baseline_config().with_contents_depth(depth)
-            result, _ = run_cycle(program, config)
-            row.append(_pct(result.return_accuracy))
-        full, _ = run_cycle(
-            program, baseline_config().with_repair(RepairMechanism.FULL_STACK))
-        row.append(_pct(full.return_accuracy))
-        rows.append(row)
+    for spec, chunk in zip(specs, _chunks(results, len(configs))):
+        rows.append([spec.name]
+                    + [_pct(result.return_accuracy) for result in chunk])
     headers = (["benchmark"] + [f"top-{d} %" for d in depths]
                + ["full-stack %"])
     return ("Ablation: checkpointed-contents depth", headers, rows)
@@ -358,6 +399,7 @@ def ablation_direction_predictors(
     kinds: Sequence[str] = ("bimodal", "gshare", "hybrid"),
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """A7: repair payoff vs direction-predictor quality.
 
@@ -367,30 +409,31 @@ def ablation_direction_predictors(
     Rows report cond-branch accuracy, then return accuracy with no
     repair and with the paper's mechanism, per predictor kind.
     """
+    specs = _specs(names, seed, scale)
+    base = baseline_config()
+    grid = [(spec, kind) for spec in specs for kind in kinds]
+    jobs: List[ExperimentJob] = []
+    for spec, kind in grid:
+        for mechanism in (RepairMechanism.NONE,
+                          RepairMechanism.TOS_POINTER_AND_CONTENTS):
+            repaired = base.with_repair(mechanism)
+            config = dataclasses.replace(
+                repaired,
+                predictor=dataclasses.replace(
+                    repaired.predictor, direction_kind=kind),
+            )
+            jobs.append(ExperimentJob(spec, config, "cycle"))
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        for kind in kinds:
-            base = baseline_config()
-            row: List[object] = [spec.name, kind]
-            accuracies = {}
-            for mechanism in (RepairMechanism.NONE,
-                              RepairMechanism.TOS_POINTER_AND_CONTENTS):
-                config = dataclasses.replace(
-                    base.with_repair(mechanism),
-                    predictor=dataclasses.replace(
-                        base.with_repair(mechanism).predictor,
-                        direction_kind=kind),
-                )
-                result, _ = run_cycle(program, config)
-                accuracies[mechanism] = result
-            reference = accuracies[RepairMechanism.TOS_POINTER_AND_CONTENTS]
-            none = accuracies[RepairMechanism.NONE]
-            row.append(_pct(reference.cond_accuracy))
-            row.append(_pct(none.return_accuracy))
-            row.append(_pct(reference.return_accuracy))
-            row.append(round(100.0 * (reference.ipc / none.ipc - 1.0), 2))
-            rows.append(row)
+    for (spec, kind), (none, reference) in zip(grid, _chunks(results, 2)):
+        rows.append([
+            spec.name,
+            kind,
+            _pct(reference.cond_accuracy),
+            _pct(none.return_accuracy),
+            _pct(reference.return_accuracy),
+            round(100.0 * (reference.ipc / none.ipc - 1.0), 2),
+        ])
     headers = ["benchmark", "direction", "cond acc %",
                "ret acc (none) %", "ret acc (repaired) %",
                "repair speedup %"]
@@ -402,21 +445,26 @@ def ablation_fastsim_crosscheck(
     names: Sequence[str] = ("li", "go"),
     seed: int = 1,
     scale: float = 0.25,
+    executor: Optional[SweepExecutor] = None,
 ) -> TableData:
     """A3: fast front-end model vs cycle model, hit-rate trends."""
     mechanisms = list(PRIMARY_MECHANISMS)
+    specs = _specs(names, seed, scale)
+    grid = [(spec, mechanism) for spec in specs for mechanism in mechanisms]
+    jobs: List[ExperimentJob] = []
+    for spec, mechanism in grid:
+        config = baseline_config().with_repair(mechanism)
+        jobs.append(ExperimentJob(spec, config, "cycle"))
+        jobs.append(ExperimentJob(spec, config, "fast"))
+    results = _executor(executor).run(jobs)
     rows = []
-    for spec in _specs(names, seed, scale):
-        program = build_program(spec)
-        for mechanism in mechanisms:
-            config = baseline_config().with_repair(mechanism)
-            cycle_result, _ = run_cycle(program, config)
-            fast_result = run_fast(program, config)
-            rows.append([
-                spec.name,
-                str(mechanism),
-                _pct(cycle_result.return_accuracy),
-                _pct(fast_result.return_accuracy),
-            ])
+    for (spec, mechanism), (cycle_result, fast_result) in zip(
+            grid, _chunks(results, 2)):
+        rows.append([
+            spec.name,
+            str(mechanism),
+            _pct(cycle_result.return_accuracy),
+            _pct(fast_result.return_accuracy),
+        ])
     headers = ["benchmark", "mechanism", "cycle ret %", "fast ret %"]
     return ("Ablation: cycle-model vs fast-model hit rates", headers, rows)
