@@ -1,0 +1,38 @@
+"""Corpus pipeline: build a sharded trace corpus, then sweep it.
+
+Times the full data path the corpus subsystem adds: streaming
+ingestion (emulator -> compressed v2 shards + manifest) followed by an
+executor-routed stack-depth sweep over every shard. Caching is
+disabled so the timing reflects real ingest + replay work on every
+run.
+"""
+
+import itertools
+
+from repro.core.executor import SweepExecutor, default_jobs
+from repro.core.experiment import WorkloadSpec
+from repro.corpus import CorpusStore, corpus_depth_sweep
+
+_SIZES = (1, 4, 16, 64)
+_NAMES = ("li", "vortex")
+_ROUND = itertools.count()
+
+
+def test_bench_trace_corpus(benchmark, emit, bench_seed, bench_scale,
+                            tmp_path):
+    def build_and_replay():
+        store = CorpusStore.create(tmp_path / f"corpus{next(_ROUND)}")
+        store.build_from_specs(
+            [WorkloadSpec(name, bench_seed, bench_scale) for name in _NAMES])
+        executor = SweepExecutor(jobs=default_jobs(), cache=None)
+        return corpus_depth_sweep(store, _SIZES, executor=executor)
+
+    table = benchmark.pedantic(build_and_replay, rounds=1, iterations=1)
+    emit("trace_corpus", table)
+    title, headers, rows = table
+    assert len(rows) == len(_NAMES)
+    for row in rows:
+        name, *accuracies, returns = row
+        assert returns > 0, name
+        # Capacity story: the 64-entry stack must beat the 1-entry one.
+        assert accuracies[-1] > accuracies[0], name

@@ -8,6 +8,9 @@ Examples:
     repro-sim speedup --no-cache --json f2.json
     repro-sim run --benchmark li --mechanism tos-pointer-contents
     repro-sim run --benchmark go --paths 4 --stacks per-path
+    repro-sim corpus build traces/ --names li vortex --scale 0.25
+    repro-sim corpus import traces/ champsim.trace.xz --name srv0
+    repro-sim corpus replay traces/ --jobs 4 --sizes 1 4 16 64
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from repro.config.options import RepairMechanism, StackOrganization
 from repro.core import tables as table_builders
 from repro.core.executor import ResultCache, SweepExecutor, default_jobs
 from repro.core.experiment import (
+    WorkloadSpec,
     default_scale,
     default_seed,
     multipath_machine,
@@ -121,6 +125,51 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", required=True, choices=BENCHMARK_NAMES)
     p.add_argument("--count", type=int, default=40)
 
+    p = sub.add_parser("corpus",
+                       help="manage sharded trace corpora (docs/traces.md)")
+    csub = p.add_subparsers(dest="corpus_command", required=True)
+
+    c = csub.add_parser("build",
+                        help="record workload shards into a corpus")
+    c.add_argument("corpus", help="corpus directory (created if needed)")
+    c.add_argument("--names", nargs="*", default=None,
+                   choices=BENCHMARK_NAMES,
+                   help="benchmarks to record (default: all)")
+    c.add_argument("--seed", type=int, default=default_seed())
+    c.add_argument("--scale", type=float, default=default_scale())
+    c.add_argument("--max-instructions", type=int, default=50_000_000)
+
+    c = csub.add_parser("import",
+                        help="import a ChampSim trace as a shard")
+    c.add_argument("corpus", help="corpus directory (created if needed)")
+    c.add_argument("trace", help="ChampSim trace file (xz/gz/raw)")
+    c.add_argument("--name", default=None,
+                   help="shard name (default: trace file stem)")
+    c.add_argument("--limit", type=int, default=None,
+                   help="import at most this many trace records")
+
+    c = csub.add_parser("info", help="list a corpus's shards")
+    c.add_argument("corpus")
+
+    c = csub.add_parser("verify",
+                        help="recompute shard checksums against the manifest")
+    c.add_argument("corpus")
+
+    c = csub.add_parser("replay",
+                        help="stack-depth sweep over every shard")
+    c.add_argument("corpus")
+    c.add_argument("--sizes", nargs="+", type=int,
+                   default=[1, 2, 4, 8, 12, 16, 32, 64])
+    c.add_argument("--mechanism", default="none",
+                   choices=[m.value for m in RepairMechanism])
+    c.add_argument("--shards", nargs="*", default=None,
+                   help="restrict to these shard names")
+    c.add_argument("--jobs", type=int, default=default_jobs())
+    c.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't update the on-disk result cache")
+    c.add_argument("--json", metavar="OUT", default=None,
+                   help="also write the table as JSON to OUT")
+
     p = sub.add_parser("report",
                        help="regenerate every table/figure in one pass")
     common(p)
@@ -157,6 +206,63 @@ def _run_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _corpus_command(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusStore, corpus_depth_sweep
+    from repro.errors import ReproError
+
+    try:
+        if args.corpus_command == "build":
+            store = CorpusStore.open_or_create(args.corpus)
+            specs = [WorkloadSpec(name, args.seed, args.scale)
+                     for name in args.names]
+            records = store.build_from_specs(
+                specs, max_instructions=args.max_instructions)
+            for record in records:
+                print(f"recorded {record.name}: {record.events} events "
+                      f"({record.calls} calls, {record.returns} returns)")
+            return 0
+        if args.corpus_command == "import":
+            store = CorpusStore.open_or_create(args.corpus)
+            record, stats = store.import_champsim(
+                args.trace, name=args.name, limit=args.limit)
+            print(f"imported {record.name}: {stats.records} records -> "
+                  f"{record.events} events ({record.calls} calls, "
+                  f"{record.returns} returns, "
+                  f"{stats.unclassified} unclassified, "
+                  f"{stats.dropped_tail} dropped tail)")
+            return 0
+        store = CorpusStore.open(args.corpus)
+        if args.corpus_command == "info":
+            print(format_table(
+                ["shard", "source", "fmt", "events", "calls", "returns",
+                 "checksum"],
+                store.summary_rows(),
+                title=f"Corpus {store.root} "
+                      f"({len(store.manifest)} shards, "
+                      f"{store.manifest.total_events} events)"))
+            return 0
+        if args.corpus_command == "verify":
+            store.verify()
+            print(f"corpus {store.root} ok: "
+                  f"{len(store.manifest)} shards verified")
+            return 0
+        # replay
+        executor = SweepExecutor(
+            jobs=args.jobs,
+            cache=None if args.no_cache else ResultCache.default())
+        title, headers, rows = corpus_depth_sweep(
+            store, sizes=args.sizes,
+            mechanism=RepairMechanism(args.mechanism),
+            executor=executor, names=args.shards)
+        print(format_table(headers, rows, title=title))
+        if args.json:
+            return _write_json(args, title, headers, rows)
+        return 0
+    except ReproError as error:
+        print(f"repro-sim corpus: {error}", file=sys.stderr)
+        return 1
+
+
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:
     cache = None if getattr(args, "no_cache", False) else ResultCache.default()
     return SweepExecutor(jobs=getattr(args, "jobs", None), cache=cache)
@@ -186,6 +292,8 @@ def _write_json(args: argparse.Namespace, title: str, headers, rows) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _fix_names(args)
+    if args.command == "corpus":
+        return _corpus_command(args)
     if args.command in _TABLE_COMMANDS:
         executor = _make_executor(args)
         title, headers, rows = _TABLE_COMMANDS[args.command](args, executor)

@@ -21,6 +21,12 @@ from repro.core.experiment import (
     run_fast,
     run_multipath,
 )
+from repro.core.sweep import (
+    mechanism_sweep,
+    multipath_sweep,
+    stack_depth_sweep,
+    trace_depth_sweep,
+)
 from repro.core.tables import (
     ablation_btb_capacity,
     ablation_contents_depth,
@@ -54,11 +60,15 @@ __all__ = [
     "fig_multipath",
     "fig_speedup",
     "fig_stack_depth",
+    "mechanism_sweep",
     "multipath_machine",
+    "multipath_sweep",
     "run_cycle",
     "run_fast",
     "run_multipath",
+    "stack_depth_sweep",
     "table1",
     "table3_baseline",
     "table4_btb_only",
+    "trace_depth_sweep",
 ]

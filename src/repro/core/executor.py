@@ -53,9 +53,11 @@ from repro.core.experiment import (
 from repro.errors import ConfigError
 from repro.isa.program import Program
 from repro.stats.counters import Counter, Rate
+from repro.trace.replay import TraceShardSpec, replay_shard
 
-#: Engines a job may name, mapping onto the three simulator families.
-ENGINES = ("cycle", "fast", "multipath")
+#: Engines a job may name: the three simulator families plus streaming
+#: trace-shard replay (capacity sweeps over recorded control flow).
+ENGINES = ("cycle", "fast", "multipath", "trace")
 
 #: Bump when the cached JobResult schema changes shape.
 CACHE_SCHEMA = 1
@@ -104,10 +106,14 @@ class ExperimentJob:
     cheap to ship to worker processes — each worker rebuilds and
     memoises the program locally). A prebuilt :class:`Program` is also
     accepted for ad-hoc experiments; such jobs run fine but bypass the
-    cache because a raw program has no stable identity to key on.
+    cache because a raw program has no stable identity to key on. The
+    ``"trace"`` engine instead takes a
+    :class:`~repro.trace.replay.TraceShardSpec` — the worker streams
+    the shard from disk, and the cache keys on the shard *checksum*, so
+    a cached replay survives corpus moves but never a content change.
     """
 
-    workload: Union[WorkloadSpec, Program]
+    workload: Union[WorkloadSpec, Program, TraceShardSpec]
     config: MachineConfig
     engine: str = "cycle"
     max_instructions: Optional[int] = None
@@ -116,29 +122,51 @@ class ExperimentJob:
         if self.engine not in ENGINES:
             raise ConfigError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if (self.engine == "trace") != isinstance(self.workload,
+                                                  TraceShardSpec):
+            raise ConfigError(
+                f"engine {self.engine!r} is incompatible with workload "
+                f"{type(self.workload).__name__}; trace shards pair with "
+                f"the 'trace' engine only")
 
     @property
     def cacheable(self) -> bool:
+        if isinstance(self.workload, TraceShardSpec):
+            return self.workload.checksum is not None
         return isinstance(self.workload, WorkloadSpec)
 
     def program(self) -> Program:
         if isinstance(self.workload, WorkloadSpec):
             return build_program(self.workload)
+        if isinstance(self.workload, TraceShardSpec):
+            raise ConfigError(
+                "trace-shard jobs replay recorded events; they have no "
+                "program to build")
         return self.workload
 
     def cache_key(self) -> Optional[str]:
         """Content hash identifying this job's inputs, or ``None`` when
-        the workload is a raw program (uncacheable)."""
-        if not isinstance(self.workload, WorkloadSpec):
+        the workload has no stable identity (raw program, or a shard
+        spec without a checksum)."""
+        if isinstance(self.workload, TraceShardSpec):
+            if self.workload.checksum is None:
+                return None
+            workload_id: Dict[str, object] = {
+                "shard": self.workload.name,
+                "checksum": self.workload.checksum,
+            }
+        elif isinstance(self.workload, WorkloadSpec):
+            workload_id = {
+                "name": self.workload.name,
+                "seed": self.workload.seed,
+                "scale": self.workload.scale,
+            }
+        else:
             return None
         payload = json.dumps(
             {
                 "schema": CACHE_SCHEMA,
-                "workload": {
-                    "name": self.workload.name,
-                    "seed": self.workload.seed,
-                    "scale": self.workload.scale,
-                },
+                "workload": workload_id,
                 "config": self.config.fingerprint(),
                 "engine": self.engine,
                 "max_instructions": self.max_instructions,
@@ -233,6 +261,36 @@ def _group_stats(group) -> Dict[str, Dict[str, object]]:
     return {"counters": counters, "rates": rates}
 
 
+def _run_trace_job(job: ExperimentJob) -> JobResult:
+    """Stream a trace shard through the RAS the job's config describes.
+
+    Replay semantics are exactly
+    :meth:`repro.trace.replay.TraceRasEvaluator.evaluate` (RAS with BTB
+    fallback), so corpus sweeps reproduce the in-memory path
+    bit-for-bit. ``instructions`` reports the shard's control-event
+    count; there is no cycle model here, so cycles/ipc are zero.
+    """
+    shard = job.workload
+    assert isinstance(shard, TraceShardSpec)
+    predictor = job.config.predictor
+    result = replay_shard(shard, ras_entries=predictor.ras_entries,
+                          mechanism=predictor.ras_repair)
+    return JobResult(
+        engine=job.engine,
+        instructions=shard.events or 0,
+        cycles=0.0,
+        ipc=0.0,
+        counters={
+            "returns": result.returns,
+            "return_hits": result.hits,
+            "ras_overflows": result.overflows,
+            "ras_underflows": result.underflows,
+            "calls": shard.calls or 0,
+        },
+        rates={"return_accuracy": result.accuracy},
+    )
+
+
 def run_job(job: ExperimentJob) -> JobResult:
     """Execute one job in this process and summarise the outcome.
 
@@ -242,6 +300,8 @@ def run_job(job: ExperimentJob) -> JobResult:
     """
     global SIMULATION_CALLS
     SIMULATION_CALLS += 1
+    if job.engine == "trace":
+        return _run_trace_job(job)
     program = job.program()
     if job.engine == "cycle":
         result, cpu = run_cycle(program, job.config,

@@ -1,0 +1,46 @@
+"""Durable, sharded, compressed control-flow trace corpora.
+
+This package is the data-pipeline backbone for trace-driven
+experiments: a directory of chunked v2 trace shards plus a JSON
+manifest (:mod:`repro.corpus.store`, :mod:`repro.corpus.manifest`),
+streaming ingestion from the reference emulator or from external
+ChampSim traces (:mod:`repro.corpus.champsim`), and executor-routed
+capacity sweeps over whole corpora (:mod:`repro.corpus.replay`).
+See docs/traces.md for formats, schema, and CLI examples
+(``repro-sim corpus build|import|info|verify|replay``).
+"""
+
+from repro.corpus.champsim import (
+    ImportStats,
+    champsim_events,
+    classify_branch,
+    iter_champsim_records,
+)
+from repro.corpus.manifest import (
+    MANIFEST_SCHEMA,
+    CorpusManifest,
+    ShardRecord,
+)
+from repro.corpus.replay import (
+    DEFAULT_SIZES,
+    corpus_depth_results,
+    corpus_depth_sweep,
+)
+from repro.corpus.store import CorpusStore, workload_shard_name
+from repro.errors import CorpusError
+
+__all__ = [
+    "CorpusError",
+    "CorpusManifest",
+    "CorpusStore",
+    "DEFAULT_SIZES",
+    "ImportStats",
+    "MANIFEST_SCHEMA",
+    "ShardRecord",
+    "champsim_events",
+    "classify_branch",
+    "corpus_depth_results",
+    "corpus_depth_sweep",
+    "iter_champsim_records",
+    "workload_shard_name",
+]

@@ -1,0 +1,207 @@
+"""ChampSim trace import: foreign control flow for our replay path.
+
+ChampSim traces are flat streams of 64-byte ``input_instr`` records
+(x86 pin traces, usually xz- or gzip-compressed):
+
+====== ===== =================================================
+offset bytes field
+====== ===== =================================================
+0      8     instruction pointer (uint64 LE)
+8      1     is_branch
+9      1     branch_taken
+10     2     destination registers
+12     4     source registers
+16     16    destination memory operands (2 x uint64)
+32     32    source memory operands (4 x uint64)
+====== ===== =================================================
+
+Records carry no branch *type* and no target; both are reconstructed
+the way ChampSim's own tracereader does it. The type comes from which
+architectural registers a branch reads/writes — the stack pointer,
+FLAGS, and the instruction pointer are encoded as fixed register ids —
+and the target of every branch is simply the next record's instruction
+pointer (the trace is the committed path). The classification table:
+
+============== ========= ========= ======== ================
+branch         reads     writes    maps to  notes
+============== ========= ========= ======== ================
+direct jump    IP        IP        JUMP_DIRECT   always taken
+conditional    IP+FLAGS  IP        COND_BRANCH
+direct call    IP+SP     IP+SP     CALL_DIRECT
+indirect call  SP+other  IP+SP     CALL_INDIRECT
+return         SP        IP+SP     RETURN
+indirect jump  other     IP        JUMP_INDIRECT
+============== ========= ========= ======== ================
+
+Caveats (see docs/traces.md): the final record of a trace cannot be a
+usable event if it is a branch (there is no following record to supply
+its target — it is counted in ``ImportStats.dropped_tail``); branches
+the table cannot classify are conservatively treated as conditional
+branches and counted in ``ImportStats.unclassified``; and x86
+instructions are variable-length, so ``ControlFlowEvent.taken`` (a
+``pc + 4`` heuristic) is meaningless for imported events — RAS replay
+never consults it.
+"""
+
+from __future__ import annotations
+
+import gzip
+import lzma
+import struct
+from typing import BinaryIO, Dict, Iterator, Optional, Tuple, Union
+
+import dataclasses
+import os
+import pathlib
+
+from repro.errors import CorpusError
+from repro.isa.opcodes import ControlClass
+
+#: One ChampSim ``input_instr``: ip, is_branch, branch_taken,
+#: 2 destination registers, 4 source registers, 2 destination memory
+#: operands, 4 source memory operands.
+RECORD = struct.Struct("<QBB2B4B2Q4Q")
+assert RECORD.size == 64
+
+#: ChampSim's fixed register ids for the registers that matter to
+#: branch-type classification.
+REG_STACK_POINTER = 6
+REG_FLAGS = 25
+REG_INSTRUCTION_POINTER = 26
+
+_XZ_MAGIC = b"\xfd7zXZ\x00"
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+@dataclasses.dataclass
+class ImportStats:
+    """What one ChampSim import saw, for reporting and sanity checks."""
+
+    records: int = 0
+    branches: int = 0
+    events: int = 0
+    unclassified: int = 0
+    dropped_tail: int = 0
+    by_class: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def count(self, control: ControlClass) -> None:
+        self.events += 1
+        self.by_class[control.value] = self.by_class.get(control.value, 0) + 1
+
+
+def open_champsim_stream(path: Union[str, os.PathLike]) -> BinaryIO:
+    """Open a ChampSim trace, sniffing xz/gzip/raw by magic bytes."""
+    path = pathlib.Path(path)
+    try:
+        with open(path, "rb") as probe:
+            magic = probe.read(len(_XZ_MAGIC))
+    except OSError as error:
+        raise CorpusError(
+            f"cannot read ChampSim trace {path}: {error}") from error
+    if magic.startswith(_XZ_MAGIC):
+        return lzma.open(path, "rb")  # type: ignore[return-value]
+    if magic.startswith(_GZIP_MAGIC):
+        return gzip.open(path, "rb")  # type: ignore[return-value]
+    return open(path, "rb")
+
+
+def iter_champsim_records(
+    path: Union[str, os.PathLike],
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield raw unpacked 64-byte records from a ChampSim trace.
+
+    Each item is the flat :data:`RECORD` tuple:
+    ``(ip, is_branch, taken, d0, d1, s0, s1, s2, s3, *memory)``.
+    A trailing partial record is a hard, typed error — silently
+    dropping bytes would make corrupt downloads look like short traces.
+    """
+    produced = 0
+    with open_champsim_stream(path) as stream:
+        while limit is None or produced < limit:
+            raw = stream.read(RECORD.size)
+            if not raw:
+                return
+            if len(raw) != RECORD.size:
+                raise CorpusError(
+                    f"truncated ChampSim record in {os.fspath(path)}: "
+                    f"found {len(raw)} bytes, expected {RECORD.size}")
+            yield RECORD.unpack(raw)
+            produced += 1
+
+
+def classify_branch(
+    destinations: Tuple[int, int],
+    sources: Tuple[int, int, int, int],
+) -> Optional[ControlClass]:
+    """Branch type from register usage, per ChampSim's heuristics.
+
+    Returns ``None`` when the register pattern matches none of the six
+    shapes (the caller decides the fallback).
+    """
+    writes_ip = REG_INSTRUCTION_POINTER in destinations
+    writes_sp = REG_STACK_POINTER in destinations
+    reads_ip = REG_INSTRUCTION_POINTER in sources
+    reads_sp = REG_STACK_POINTER in sources
+    reads_flags = REG_FLAGS in sources
+    reads_other = any(
+        reg not in (0, REG_STACK_POINTER, REG_FLAGS, REG_INSTRUCTION_POINTER)
+        for reg in sources)
+    if not writes_ip:
+        return None
+    if not reads_sp and not reads_flags and reads_ip and not reads_other:
+        return ControlClass.JUMP_DIRECT
+    if not reads_sp and reads_flags and reads_ip and not reads_other:
+        return ControlClass.COND_BRANCH
+    if reads_sp and writes_sp and not reads_flags and reads_ip \
+            and not reads_other:
+        return ControlClass.CALL_DIRECT
+    if reads_sp and writes_sp and not reads_flags and not reads_ip \
+            and reads_other:
+        return ControlClass.CALL_INDIRECT
+    if reads_sp and writes_sp and not reads_flags and not reads_ip \
+            and not reads_other:
+        return ControlClass.RETURN
+    if not reads_sp and not reads_flags and not reads_ip and reads_other:
+        return ControlClass.JUMP_INDIRECT
+    return None
+
+
+def champsim_events(
+    path: Union[str, os.PathLike],
+    limit: Optional[int] = None,
+    stats: Optional[ImportStats] = None,
+):
+    """Decode a ChampSim trace into a stream of ``ControlFlowEvent``s.
+
+    Streaming: one record of lookahead (a branch's target is the next
+    record's ip), O(1) memory. Pass an :class:`ImportStats` to collect
+    classification counts. ``limit`` bounds the *records read*, not the
+    events produced.
+    """
+    from repro.trace.format import ControlFlowEvent
+
+    stats = stats if stats is not None else ImportStats()
+    pending: Optional[Tuple[ControlClass, int, int]] = None
+    gap = 0
+    for record in iter_champsim_records(path, limit=limit):
+        ip = record[0]
+        is_branch = record[1]
+        if pending is not None:
+            control, branch_ip, branch_gap = pending
+            stats.count(control)
+            yield ControlFlowEvent(control, branch_ip, ip, branch_gap)
+            pending = None
+        stats.records += 1
+        if is_branch:
+            stats.branches += 1
+            control = classify_branch(record[3:5], record[5:9])
+            if control is None:
+                stats.unclassified += 1
+                control = ControlClass.COND_BRANCH
+            pending = (control, ip, gap)
+            gap = 0
+        else:
+            gap += 1
+    if pending is not None:
+        stats.dropped_tail += 1

@@ -1,0 +1,185 @@
+"""The corpus manifest: one JSON document describing every shard.
+
+A corpus directory holds trace shards plus a ``manifest.json`` whose
+schema is deliberately plain (documented in docs/traces.md):
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "description": "...",
+      "shards": [
+        {
+          "name": "li-s1-x0.25",
+          "filename": "li-s1-x0.25.rastrace",
+          "format_version": 2,
+          "events": 12345,
+          "calls": 678,
+          "returns": 678,
+          "checksum": "<sha256 of the shard file>",
+          "source": {"kind": "workload", "name": "li",
+                     "seed": 1, "scale": 0.25}
+        }
+      ]
+    }
+
+``source.kind`` is ``"workload"`` for shards recorded from our own
+seeded generator, ``"champsim"`` for imports, and ``"events"`` for
+ad-hoc event streams. The checksum is the shard's cache identity: the
+executor keys trace-replay results on it, never on paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import CorpusError
+
+#: Bump when the manifest JSON layout changes shape.
+MANIFEST_SCHEMA = 1
+
+#: ``source.kind`` values a well-formed manifest may use.
+SOURCE_KINDS = ("workload", "champsim", "events")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardRecord:
+    """Manifest entry for one trace shard."""
+
+    name: str
+    filename: str
+    format_version: int
+    events: int
+    calls: int
+    returns: int
+    checksum: str
+    source: Dict[str, object]
+
+    def __post_init__(self) -> None:
+        kind = self.source.get("kind")
+        if kind not in SOURCE_KINDS:
+            raise CorpusError(
+                f"shard {self.name!r}: bad source kind {kind!r}; "
+                f"expected one of {SOURCE_KINDS}")
+
+    @property
+    def kind(self) -> str:
+        return str(self.source["kind"])
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardRecord":
+        missing = [field.name for field in dataclasses.fields(cls)
+                   if field.name not in data]
+        if missing:
+            raise CorpusError(
+                f"shard entry missing keys {missing}: {data!r}")
+        try:
+            return cls(
+                name=str(data["name"]),
+                filename=str(data["filename"]),
+                format_version=int(data["format_version"]),  # type: ignore[arg-type]
+                events=int(data["events"]),  # type: ignore[arg-type]
+                calls=int(data["calls"]),  # type: ignore[arg-type]
+                returns=int(data["returns"]),  # type: ignore[arg-type]
+                checksum=str(data["checksum"]),
+                source=dict(data["source"]),  # type: ignore[arg-type]
+            )
+        except (TypeError, ValueError) as error:
+            raise CorpusError(f"malformed shard entry: {error}") from error
+
+
+class CorpusManifest:
+    """In-memory view of a corpus ``manifest.json``."""
+
+    def __init__(self, shards: Optional[List[ShardRecord]] = None,
+                 description: str = "") -> None:
+        self.description = description
+        self._shards: Dict[str, ShardRecord] = {}
+        for shard in shards or []:
+            self.add(shard)
+
+    # -- collection ----------------------------------------------------
+
+    def add(self, shard: ShardRecord) -> None:
+        if shard.name in self._shards:
+            raise CorpusError(f"duplicate shard name {shard.name!r}")
+        self._shards[shard.name] = shard
+
+    def get(self, name: str) -> ShardRecord:
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise CorpusError(
+                f"no shard named {name!r}; corpus has "
+                f"{sorted(self._shards) or 'no shards'}") from None
+
+    def names(self) -> List[str]:
+        return list(self._shards)
+
+    def __iter__(self) -> Iterator[ShardRecord]:
+        return iter(self._shards.values())
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._shards
+
+    @property
+    def total_events(self) -> int:
+        return sum(shard.events for shard in self)
+
+    # -- serialisation -------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "description": self.description,
+            "shards": [shard.to_dict() for shard in self],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "CorpusManifest":
+        schema = data.get("schema")
+        if schema != MANIFEST_SCHEMA:
+            raise CorpusError(
+                f"unsupported manifest schema: found {schema!r}, "
+                f"expected {MANIFEST_SCHEMA}")
+        shards_raw = data.get("shards", [])
+        if not isinstance(shards_raw, list):
+            raise CorpusError(
+                f"manifest 'shards' must be a list, got "
+                f"{type(shards_raw).__name__}")
+        return cls(
+            shards=[ShardRecord.from_dict(entry) for entry in shards_raw],
+            description=str(data.get("description", "")),
+        )
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        path = pathlib.Path(path)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self.to_json_dict(), indent=2,
+                                  sort_keys=True) + "\n")
+        tmp.replace(path)  # atomic: readers never see partial manifests
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "CorpusManifest":
+        path = pathlib.Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as error:
+            raise CorpusError(f"cannot read manifest {path}: {error}") from error
+        except ValueError as error:
+            raise CorpusError(
+                f"manifest {path} is not valid JSON: {error}") from error
+        if not isinstance(data, dict):
+            raise CorpusError(
+                f"manifest {path} must be a JSON object, got "
+                f"{type(data).__name__}")
+        return cls.from_json_dict(data)

@@ -1,0 +1,70 @@
+"""Corpus-driven experiment entry points.
+
+Thin layer joining :class:`~repro.corpus.store.CorpusStore` to the
+executor-routed :func:`~repro.core.sweep.trace_depth_sweep`: pick
+shards, fan one job per ``shard x stack size`` over the
+:class:`~repro.core.executor.SweepExecutor` (parallel, cached by shard
+checksum), and shape the results as either raw counter dicts (for
+tests and programmatic use) or a rendered table (for the CLI and
+benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config.options import RepairMechanism
+from repro.core.executor import JobResult, SweepExecutor
+from repro.core.sweep import trace_depth_sweep
+from repro.corpus.store import CorpusStore
+
+#: Default stack sizes for corpus capacity sweeps (the paper's F3 grid).
+DEFAULT_SIZES = (1, 2, 4, 8, 12, 16, 32, 64)
+
+TableData = Tuple[str, List[str], List[List[object]]]
+
+
+def corpus_depth_results(
+    store: CorpusStore,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    mechanism: RepairMechanism = RepairMechanism.NONE,
+    executor: Optional[SweepExecutor] = None,
+    names: Optional[Iterable[str]] = None,
+) -> Dict[str, Dict[int, JobResult]]:
+    """Raw per-shard, per-size replay results for ``store``."""
+    return trace_depth_sweep(
+        store.specs(names=names), sizes, mechanism=mechanism,
+        executor=executor)
+
+
+def corpus_depth_sweep(
+    store: CorpusStore,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    mechanism: RepairMechanism = RepairMechanism.NONE,
+    executor: Optional[SweepExecutor] = None,
+    names: Optional[Iterable[str]] = None,
+) -> TableData:
+    """Stack-depth sweep over a corpus, shaped like the F3 table.
+
+    Rows mirror :func:`repro.core.tables.fig_stack_depth`: one row per
+    shard, one return-hit-rate percentage column per stack size, plus
+    the shard's return count for scale.
+    """
+    results = corpus_depth_results(store, sizes, mechanism=mechanism,
+                                   executor=executor, names=names)
+    rows: List[List[object]] = []
+    for name, by_size in results.items():
+        row: List[object] = [name]
+        returns = 0
+        for size in sizes:
+            result = by_size[size]
+            returns = result.counter("returns")
+            accuracy = result.return_accuracy
+            row.append(None if accuracy is None else round(100 * accuracy, 2))
+        row.append(returns)
+        rows.append(row)
+    headers = (["shard"] + [f"{size}-entry %" for size in sizes]
+               + ["returns"])
+    title = (f"Corpus stack-depth sweep ({mechanism}, "
+             f"{len(results)} shards)")
+    return title, headers, rows

@@ -34,3 +34,12 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload profile or generated program is malformed."""
+
+
+class CorpusError(ReproError):
+    """A trace corpus is malformed or inconsistent.
+
+    Examples: a missing or unparsable manifest, a shard whose on-disk
+    checksum no longer matches its manifest entry, a duplicate shard
+    name, or an undecodable imported trace.
+    """

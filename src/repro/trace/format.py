@@ -1,27 +1,45 @@
-"""The binary control-flow trace format.
+"""The binary control-flow trace containers (v1 flat, v2 chunked).
 
 A trace is a sequence of control-transfer events from the committed
 instruction stream (non-control instructions are elided — they carry no
-predictor-relevant information). Each event packs to 13 bytes:
+predictor-relevant information).
+
+**Version 1** is the original flat layout: a 16-byte header (magic,
+version, event count) followed by 13-byte fixed events with 32-bit PCs.
+Every event sits uncompressed at a computable offset; any tool can
+parse it.
+
+**Version 2** is the corpus container: a 24-byte header, then a run of
+zlib-compressed event blocks, then a block index and a trailer so
+readers can seek without scanning. Events widen to 64-bit PCs (imported
+x86 traces need them) and pack to 21 bytes before compression:
 
 ====== ===== ==========================================
-offset bytes field
+offset bytes v2 event field
 ====== ===== ==========================================
 0      1     control class (ControlClass index)
-1      4     PC of the control instruction (uint32 LE)
-5      4     actual next PC (uint32 LE)
-9      4     instructions since the previous event
+1      8     PC of the control instruction (uint64 LE)
+9      8     actual next PC (uint64 LE)
+17     4     instructions since the previous event
 ====== ===== ==========================================
 
-A 16-byte header carries a magic, a format version, and the event
-count. The format is deliberately boring: any tool can parse it.
+Each block header records the raw size, compressed size, event count
+and a CRC-32 of the compressed payload, so corruption anywhere in a
+block is detected and reported as a typed :class:`TraceFormatError`
+rather than silently truncating the stream. The full layouts are
+documented in docs/traces.md.
+
+:class:`TraceWriter` and :class:`TraceReader` stream: neither ever
+materialises the full event list, so traces larger than RAM are fine.
+The reader transparently handles both versions.
 """
 
 from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Iterator, List, Optional, Union
+import zlib
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.emu.emulator import Emulator
 from repro.errors import ReproError
@@ -29,17 +47,36 @@ from repro.isa.opcodes import ControlClass
 from repro.isa.program import Program
 
 MAGIC = b"RASTRACE"
+INDEX_MAGIC = b"RASINDEX"
 VERSION = 1
-_HEADER = struct.Struct("<8sII")
-_EVENT = struct.Struct("<BIII")
+VERSION_CHUNKED = 2
+SUPPORTED_VERSIONS = (VERSION, VERSION_CHUNKED)
+#: Events per compressed block in a v2 trace (writer default).
+DEFAULT_BLOCK_EVENTS = 4096
+
+_PREFIX = struct.Struct("<8sI")          # magic, version
+_HEADER = struct.Struct("<8sII")         # v1: magic, version, count
+_HEADER2 = struct.Struct("<8sIIQ")       # v2: magic, version, block_events, count
+_EVENT = struct.Struct("<BIII")          # v1 event: class, pc32, next32, gap
+_EVENT2 = struct.Struct("<BQQI")         # v2 event: class, pc64, next64, gap
+_BLOCK = struct.Struct("<IIII")          # raw_size, comp_size, count, crc32
+_INDEX_ENTRY = struct.Struct("<QII")     # file offset, comp_size, count
+_TRAILER = struct.Struct("<8sQI")        # index magic, index offset, blocks
 
 #: Order gives each ControlClass a stable byte encoding.
 _CLASS_LIST = list(ControlClass)
 _CLASS_INDEX = {cls: i for i, cls in enumerate(_CLASS_LIST)}
 
+_PC32_LIMIT = 1 << 32
+
 
 class TraceFormatError(ReproError):
-    """The trace bytes are not a valid RASTRACE stream."""
+    """The trace bytes are not a valid RASTRACE stream.
+
+    Messages always carry the found-vs-expected values (sizes, magics,
+    versions, CRCs) so a corrupt shard can be diagnosed from the error
+    alone.
+    """
 
 
 class ControlFlowEvent:
@@ -72,92 +109,302 @@ class ControlFlowEvent:
 
 
 class TraceWriter:
-    """Stream events to a binary file object."""
+    """Stream events to a binary file object (v1 flat or v2 chunked).
 
-    def __init__(self, stream: BinaryIO) -> None:
+    The stream must be seekable: the header's event count is patched on
+    :meth:`close` (and v2 additionally appends the block index there).
+    Events are never buffered beyond one compression block, so writing
+    is O(block) in memory regardless of trace length.
+    """
+
+    def __init__(self, stream: BinaryIO, version: int = VERSION,
+                 block_events: int = DEFAULT_BLOCK_EVENTS) -> None:
+        if version not in SUPPORTED_VERSIONS:
+            raise TraceFormatError(
+                f"cannot write trace version {version}; "
+                f"supported versions are {SUPPORTED_VERSIONS}")
+        if block_events < 1:
+            raise TraceFormatError(
+                f"block_events must be >= 1, got {block_events}")
         self._stream = stream
         self._count = 0
+        self.version = version
+        self._block_events = block_events
+        self._buffer: List[ControlFlowEvent] = []
+        self._index: List[Tuple[int, int, int]] = []
         # Reserve the header; patched on close.
-        self._stream.write(_HEADER.pack(MAGIC, VERSION, 0))
+        if version == VERSION:
+            self._stream.write(_HEADER.pack(MAGIC, VERSION, 0))
+        else:
+            self._stream.write(
+                _HEADER2.pack(MAGIC, VERSION_CHUNKED, block_events, 0))
 
     def append(self, event: ControlFlowEvent) -> None:
-        self._stream.write(_EVENT.pack(
-            _CLASS_INDEX[event.control], event.pc, event.next_pc, event.gap))
+        if self.version == VERSION:
+            if event.pc >= _PC32_LIMIT or event.next_pc >= _PC32_LIMIT:
+                raise TraceFormatError(
+                    f"v1 traces store 32-bit PCs; got pc={event.pc:#x}, "
+                    f"next_pc={event.next_pc:#x} (use version=2)")
+            self._stream.write(_EVENT.pack(
+                _CLASS_INDEX[event.control], event.pc, event.next_pc,
+                event.gap))
+        else:
+            self._buffer.append(event)
+            if len(self._buffer) >= self._block_events:
+                self._flush_block()
         self._count += 1
 
+    def _flush_block(self) -> None:
+        raw = b"".join(
+            _EVENT2.pack(_CLASS_INDEX[event.control], event.pc,
+                         event.next_pc, event.gap)
+            for event in self._buffer)
+        compressed = zlib.compress(raw, 6)
+        offset = self._stream.tell()
+        self._stream.write(_BLOCK.pack(
+            len(raw), len(compressed), len(self._buffer),
+            zlib.crc32(compressed)))
+        self._stream.write(compressed)
+        self._index.append((offset, len(compressed), len(self._buffer)))
+        self._buffer.clear()
+
     def close(self) -> int:
-        """Patch the header with the final count; returns event count."""
-        self._stream.seek(0)
-        self._stream.write(_HEADER.pack(MAGIC, VERSION, self._count))
+        """Finalise the container; returns the event count.
+
+        v1: patch the header count. v2: flush the tail block, append
+        the block index and trailer, then patch the header count.
+        """
+        if self.version == VERSION_CHUNKED:
+            if self._buffer:
+                self._flush_block()
+            index_offset = self._stream.tell()
+            for offset, comp_size, count in self._index:
+                self._stream.write(
+                    _INDEX_ENTRY.pack(offset, comp_size, count))
+            self._stream.write(
+                _TRAILER.pack(INDEX_MAGIC, index_offset, len(self._index)))
+            self._stream.seek(0)
+            self._stream.write(_HEADER2.pack(
+                MAGIC, VERSION_CHUNKED, self._block_events, self._count))
+        else:
+            self._stream.seek(0)
+            self._stream.write(_HEADER.pack(MAGIC, VERSION, self._count))
         self._stream.flush()
         return self._count
 
 
 class TraceReader:
-    """Iterate events from a binary trace."""
+    """Stream events from a binary trace, any supported version.
+
+    Iteration decodes incrementally — one v1 event or one v2 block at a
+    time — so a reader never holds more than a block of events. Version
+    sniffing is transparent: callers only see ``ControlFlowEvent``s.
+    """
 
     def __init__(self, stream: BinaryIO) -> None:
-        header = stream.read(_HEADER.size)
-        if len(header) != _HEADER.size:
-            raise TraceFormatError("truncated trace header")
-        magic, version, count = _HEADER.unpack(header)
+        prefix = stream.read(_PREFIX.size)
+        if len(prefix) != _PREFIX.size:
+            raise TraceFormatError(
+                f"truncated trace header: found {len(prefix)} bytes, "
+                f"expected at least {_PREFIX.size}")
+        magic, version = _PREFIX.unpack(prefix)
         if magic != MAGIC:
-            raise TraceFormatError(f"bad magic {magic!r}")
-        if version != VERSION:
-            raise TraceFormatError(f"unsupported trace version {version}")
+            raise TraceFormatError(
+                f"bad magic: found {magic!r}, expected {MAGIC!r}")
+        if version not in SUPPORTED_VERSIONS:
+            raise TraceFormatError(
+                f"unsupported trace version: found {version}, "
+                f"expected one of {SUPPORTED_VERSIONS}")
+        self.version = version
+        if version == VERSION:
+            rest = stream.read(_HEADER.size - _PREFIX.size)
+            if len(rest) != _HEADER.size - _PREFIX.size:
+                raise TraceFormatError(
+                    f"truncated v1 trace header: found "
+                    f"{_PREFIX.size + len(rest)} bytes, "
+                    f"expected {_HEADER.size}")
+            (self.count,) = struct.unpack("<I", rest)
+            self.block_events: Optional[int] = None
+        else:
+            rest = stream.read(_HEADER2.size - _PREFIX.size)
+            if len(rest) != _HEADER2.size - _PREFIX.size:
+                raise TraceFormatError(
+                    f"truncated v2 trace header: found "
+                    f"{_PREFIX.size + len(rest)} bytes, "
+                    f"expected {_HEADER2.size}")
+            self.block_events, self.count = struct.unpack("<IQ", rest)
         self._stream = stream
-        self.count = count
 
     def __iter__(self) -> Iterator[ControlFlowEvent]:
+        if self.version == VERSION:
+            return self._iter_v1()
+        return self._iter_v2()
+
+    def _iter_v1(self) -> Iterator[ControlFlowEvent]:
         for _ in range(self.count):
             raw = self._stream.read(_EVENT.size)
             if len(raw) != _EVENT.size:
-                raise TraceFormatError("truncated trace body")
+                raise TraceFormatError(
+                    f"truncated trace body: found {len(raw)} bytes, "
+                    f"expected {_EVENT.size}")
             class_index, pc, next_pc, gap = _EVENT.unpack(raw)
             if class_index >= len(_CLASS_LIST):
-                raise TraceFormatError(f"bad control class {class_index}")
+                raise TraceFormatError(
+                    f"bad control class: found {class_index}, expected "
+                    f"< {len(_CLASS_LIST)}")
             yield ControlFlowEvent(_CLASS_LIST[class_index], pc, next_pc, gap)
+
+    def _iter_v2(self) -> Iterator[ControlFlowEvent]:
+        remaining = self.count
+        block = 0
+        while remaining > 0:
+            header = self._stream.read(_BLOCK.size)
+            if len(header) != _BLOCK.size:
+                raise TraceFormatError(
+                    f"block {block}: truncated header: found "
+                    f"{len(header)} bytes, expected {_BLOCK.size}")
+            raw_size, comp_size, count, crc = _BLOCK.unpack(header)
+            if count == 0 or count > remaining:
+                raise TraceFormatError(
+                    f"block {block}: bad event count: found {count}, "
+                    f"expected 1..{remaining}")
+            if raw_size != count * _EVENT2.size:
+                raise TraceFormatError(
+                    f"block {block}: bad raw size: found {raw_size}, "
+                    f"expected {count * _EVENT2.size}")
+            compressed = self._stream.read(comp_size)
+            if len(compressed) != comp_size:
+                raise TraceFormatError(
+                    f"block {block}: truncated payload: found "
+                    f"{len(compressed)} bytes, expected {comp_size}")
+            found_crc = zlib.crc32(compressed)
+            if found_crc != crc:
+                raise TraceFormatError(
+                    f"block {block}: CRC mismatch: found {found_crc:#010x}, "
+                    f"expected {crc:#010x}")
+            try:
+                raw = zlib.decompress(compressed)
+            except zlib.error as error:
+                raise TraceFormatError(
+                    f"block {block}: undecompressable payload: {error}"
+                ) from error
+            if len(raw) != raw_size:
+                raise TraceFormatError(
+                    f"block {block}: bad decompressed size: found "
+                    f"{len(raw)} bytes, expected {raw_size}")
+            for class_index, pc, next_pc, gap in _EVENT2.iter_unpack(raw):
+                if class_index >= len(_CLASS_LIST):
+                    raise TraceFormatError(
+                        f"bad control class: found {class_index}, expected "
+                        f"< {len(_CLASS_LIST)}")
+                yield ControlFlowEvent(
+                    _CLASS_LIST[class_index], pc, next_pc, gap)
+            remaining -= count
+            block += 1
 
     def read_all(self) -> List[ControlFlowEvent]:
         return list(self)
+
+    def index(self) -> List[Tuple[int, int, int]]:
+        """The v2 block index: ``(file offset, compressed size, events)``
+        per block, read from the trailer of a seekable stream.
+
+        The stream position is restored afterwards, so iteration and
+        index reads compose.
+        """
+        if self.version != VERSION_CHUNKED:
+            raise TraceFormatError(
+                f"trace version {self.version} has no block index "
+                f"(found {self.version}, expected {VERSION_CHUNKED})")
+        position = self._stream.tell()
+        try:
+            self._stream.seek(-_TRAILER.size, io.SEEK_END)
+            trailer = self._stream.read(_TRAILER.size)
+            if len(trailer) != _TRAILER.size:
+                raise TraceFormatError(
+                    f"truncated trace trailer: found {len(trailer)} bytes, "
+                    f"expected {_TRAILER.size}")
+            magic, index_offset, blocks = _TRAILER.unpack(trailer)
+            if magic != INDEX_MAGIC:
+                raise TraceFormatError(
+                    f"bad index magic: found {magic!r}, "
+                    f"expected {INDEX_MAGIC!r}")
+            self._stream.seek(index_offset)
+            payload = self._stream.read(blocks * _INDEX_ENTRY.size)
+            if len(payload) != blocks * _INDEX_ENTRY.size:
+                raise TraceFormatError(
+                    f"truncated block index: found {len(payload)} bytes, "
+                    f"expected {blocks * _INDEX_ENTRY.size}")
+            return list(_INDEX_ENTRY.iter_unpack(payload))
+        finally:
+            self._stream.seek(position)
+
+
+def iter_trace_file(path: str) -> Iterator[ControlFlowEvent]:
+    """Stream the events of an on-disk trace (either version)."""
+    with open(path, "rb") as stream:
+        yield from TraceReader(stream)
+
+
+def write_trace(
+    destination: Union[str, BinaryIO],
+    events: Iterable[ControlFlowEvent],
+    version: int = VERSION,
+    block_events: int = DEFAULT_BLOCK_EVENTS,
+) -> int:
+    """Stream ``events`` into a trace container; returns the count."""
+    own_file = isinstance(destination, str)
+    stream = open(destination, "wb") if own_file else destination
+    try:
+        writer = TraceWriter(stream, version=version,
+                             block_events=block_events)
+        for event in events:
+            writer.append(event)
+        return writer.close()
+    finally:
+        if own_file:
+            stream.close()  # type: ignore[union-attr]
+
+
+def iter_control_events(
+    program: Program,
+    max_instructions: int = 50_000_000,
+) -> Iterator[ControlFlowEvent]:
+    """Run ``program`` on the reference emulator, yielding its control
+    transfers as they commit.
+
+    This is the streaming core of :func:`record_trace` and of corpus
+    ingestion: nothing is buffered, so arbitrarily long executions
+    produce events in O(1) memory.
+    """
+    gap = 0
+    emulator = Emulator(program, max_instructions=max_instructions)
+    for record in emulator.trace():
+        inst = program.fetch(record.pc)
+        if inst.is_control:
+            yield ControlFlowEvent(inst.control, record.pc,
+                                   record.next_pc, gap)
+            gap = 0
+        else:
+            gap += 1
 
 
 def record_trace(
     program: Program,
     destination: Optional[Union[str, BinaryIO]] = None,
     max_instructions: int = 50_000_000,
+    version: int = VERSION,
 ) -> Union[bytes, int]:
     """Run ``program`` on the reference emulator, recording its control
     transfers.
 
     With ``destination=None`` the trace is returned as ``bytes``; with a
     path or binary stream it is written there and the event count is
-    returned.
+    returned. ``version`` selects the container (1 flat, 2 chunked).
     """
-    own_buffer = destination is None
-    own_file = isinstance(destination, str)
-    if own_buffer:
-        stream: BinaryIO = io.BytesIO()
-    elif own_file:
-        stream = open(destination, "wb")  # type: ignore[arg-type]
-    else:
-        stream = destination  # type: ignore[assignment]
-    try:
-        writer = TraceWriter(stream)
-        gap = 0
-        emulator = Emulator(program, max_instructions=max_instructions)
-        for record in emulator.trace():
-            inst = program.fetch(record.pc)
-            if inst.is_control:
-                writer.append(ControlFlowEvent(
-                    inst.control, record.pc, record.next_pc, gap))
-                gap = 0
-            else:
-                gap += 1
-        count = writer.close()
-        if own_buffer:
-            return stream.getvalue()  # type: ignore[union-attr]
-        return count
-    finally:
-        if own_file:
-            stream.close()
+    events = iter_control_events(program, max_instructions=max_instructions)
+    if destination is None:
+        buffer = io.BytesIO()
+        write_trace(buffer, events, version=version)
+        return buffer.getvalue()
+    return write_trace(destination, events, version=version)

@@ -7,18 +7,45 @@ the *capacity* behaviour — overflow and underflow under deep call
 chains — in isolation from corruption. Sweeping stack sizes over a
 recorded trace is hundreds of times faster than re-running the cycle
 model.
+
+Everything here streams: :func:`replay_events` consumes any event
+iterable without materialising it, and :func:`replay_events_multi`
+evaluates a whole grid of stack sizes in a single pass over the events
+— the shape a depth sweep over an on-disk shard wants, since decoding
+the trace once is the dominant cost.
+
+:class:`TraceShardSpec` is the durable, picklable identity of one
+on-disk trace shard; it is what corpus sweeps ship to executor workers
+(see :mod:`repro.core.executor`'s ``"trace"`` engine) and what cache
+keys hash (via the shard checksum).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import io
-from typing import Iterable, Optional, Sequence, Union
+import os
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.bpred.btb import BranchTargetBuffer
 from repro.bpred.ras import make_ras
 from repro.config.options import RepairMechanism
+from repro.errors import ReproError
 from repro.isa.opcodes import ControlClass
-from repro.trace.format import ControlFlowEvent, TraceReader
+from repro.trace.format import (
+    ControlFlowEvent,
+    TraceReader,
+    iter_trace_file,
+)
 
 
 class TraceRasResult:
@@ -45,14 +72,173 @@ class TraceRasResult:
                 f"overflows={self.overflows})")
 
 
-class TraceRasEvaluator:
-    """Replay traces through RAS configurations."""
+@dataclasses.dataclass(frozen=True)
+class TraceShardSpec:
+    """Identity of one on-disk trace shard.
 
-    def __init__(self, trace: Union[bytes, Sequence[ControlFlowEvent]]) -> None:
+    ``checksum`` (SHA-256 of the shard file) is the cache identity: two
+    shards with equal checksums hold bit-identical traces, wherever
+    their files live, so executor cache keys hash the checksum and name
+    but never the path. The optional counts ride along so result
+    summaries need not re-scan the shard.
+    """
+
+    name: str
+    path: str
+    checksum: Optional[str] = None
+    events: Optional[int] = None
+    calls: Optional[int] = None
+    returns: Optional[int] = None
+
+
+class _Lane:
+    """Replay state for one RAS configuration during a shared pass."""
+
+    __slots__ = ("ras", "btb", "returns", "hits")
+
+    def __init__(self, ras_entries: int, mechanism: RepairMechanism,
+                 btb_fallback: bool) -> None:
+        self.ras = make_ras(ras_entries, mechanism)
+        self.btb = BranchTargetBuffer() if btb_fallback else None
+        self.returns = 0
+        self.hits = 0
+
+    def step(self, event: ControlFlowEvent) -> None:
+        control = event.control
+        if control is ControlClass.RETURN:
+            predicted = self.ras.pop()
+            if predicted is None and self.btb is not None:
+                predicted = self.btb.lookup(event.pc)
+            self.returns += 1
+            if predicted == event.next_pc:
+                self.hits += 1
+            if self.btb is not None:
+                self.btb.update(event.pc, event.next_pc, True)
+        if control.is_call:
+            self.ras.push(event.pc + 4)
+
+    def result(self) -> TraceRasResult:
+        return TraceRasResult(
+            self.returns, self.hits,
+            self.ras.stats["overflows"].value,
+            self.ras.stats["underflows"].value,
+        )
+
+
+def replay_events(
+    events: Iterable[ControlFlowEvent],
+    ras_entries: int = 32,
+    mechanism: RepairMechanism = RepairMechanism.NONE,
+    btb_fallback: bool = True,
+) -> TraceRasResult:
+    """Stream ``events`` through one RAS configuration.
+
+    ``mechanism`` matters only for organisations whose *normal*
+    behaviour differs (valid bits / self-checkpointing); with no wrong
+    paths there is nothing to repair. The iterable is consumed exactly
+    once and never materialised.
+    """
+    lane = _Lane(ras_entries, mechanism, btb_fallback)
+    for event in events:
+        lane.step(event)
+    return lane.result()
+
+
+def replay_events_multi(
+    events: Iterable[ControlFlowEvent],
+    sizes: Sequence[int],
+    mechanism: RepairMechanism = RepairMechanism.NONE,
+    btb_fallback: bool = True,
+) -> Dict[int, TraceRasResult]:
+    """Evaluate every stack size in one pass over ``events``.
+
+    Each size gets fully independent predictor state, so the results
+    are identical to running :func:`replay_events` once per size — but
+    the trace is decoded once instead of ``len(sizes)`` times, which is
+    what makes depth sweeps over compressed on-disk shards cheap.
+    """
+    lanes = [_Lane(size, mechanism, btb_fallback) for size in sizes]
+    for event in events:
+        for lane in lanes:
+            lane.step(event)
+    return {size: lane.result() for size, lane in zip(sizes, lanes)}
+
+
+def replay_shard(
+    shard: Union[TraceShardSpec, str, os.PathLike],
+    ras_entries: int = 32,
+    mechanism: RepairMechanism = RepairMechanism.NONE,
+    btb_fallback: bool = True,
+) -> TraceRasResult:
+    """Stream one on-disk shard (v1 or v2) through a RAS configuration."""
+    path = shard.path if isinstance(shard, TraceShardSpec) else os.fspath(shard)
+    return replay_events(iter_trace_file(path), ras_entries, mechanism,
+                         btb_fallback)
+
+
+def replay_shard_multi(
+    shard: Union[TraceShardSpec, str, os.PathLike],
+    sizes: Sequence[int],
+    mechanism: RepairMechanism = RepairMechanism.NONE,
+    btb_fallback: bool = True,
+) -> Dict[int, TraceRasResult]:
+    """Depth-sweep one on-disk shard in a single streaming pass."""
+    path = shard.path if isinstance(shard, TraceShardSpec) else os.fspath(shard)
+    return replay_events_multi(iter_trace_file(path), sizes, mechanism,
+                               btb_fallback)
+
+
+_EventSource = Callable[[], Iterator[ControlFlowEvent]]
+
+
+class TraceRasEvaluator:
+    """Replay traces through RAS configurations.
+
+    Accepts trace ``bytes``, a path to an on-disk trace, a sequence of
+    events, a zero-argument factory returning a fresh event iterator,
+    or a one-shot iterator. All of these are consumed *streaming* — the
+    evaluator never builds a full event list. Re-iterable sources
+    (bytes, paths, sequences, factories) support any number of
+    evaluations; a one-shot iterator supports exactly one pass and a
+    second pass raises :class:`~repro.errors.ReproError` instead of
+    silently replaying nothing.
+    """
+
+    def __init__(
+        self,
+        trace: Union[bytes, str, os.PathLike, Sequence[ControlFlowEvent],
+                     Iterable[ControlFlowEvent], _EventSource],
+    ) -> None:
+        self._one_shot: Optional[Iterator[ControlFlowEvent]] = None
+        self._consumed = False
         if isinstance(trace, (bytes, bytearray)):
-            self.events = TraceReader(io.BytesIO(bytes(trace))).read_all()
+            data = bytes(trace)
+            self._source: _EventSource = (
+                lambda: iter(TraceReader(io.BytesIO(data))))
+        elif isinstance(trace, (str, os.PathLike)):
+            path = os.fspath(trace)
+            self._source = lambda: iter_trace_file(path)
+        elif callable(trace):
+            self._source = trace
+        elif isinstance(trace, Sequence):
+            self._source = lambda: iter(trace)
         else:
-            self.events = list(trace)
+            self._one_shot = iter(trace)
+            self._source = self._consume_one_shot
+
+    def _consume_one_shot(self) -> Iterator[ControlFlowEvent]:
+        if self._consumed:
+            raise ReproError(
+                "trace iterator already consumed; pass bytes, a path, a "
+                "sequence, or an iterator factory to evaluate more than once")
+        self._consumed = True
+        assert self._one_shot is not None
+        return self._one_shot
+
+    @property
+    def events(self) -> List[ControlFlowEvent]:
+        """The full event list (materialises one streaming pass)."""
+        return list(self._source())
 
     def evaluate(
         self,
@@ -60,45 +246,29 @@ class TraceRasEvaluator:
         mechanism: RepairMechanism = RepairMechanism.NONE,
         btb_fallback: bool = True,
     ) -> TraceRasResult:
-        """Measure return accuracy for one stack configuration.
-
-        ``mechanism`` matters only for organisations whose *normal*
-        behaviour differs (valid bits / self-checkpointing); with no
-        wrong paths there is nothing to repair.
-        """
-        ras = make_ras(ras_entries, mechanism)
-        btb = BranchTargetBuffer() if btb_fallback else None
-        returns = 0
-        hits = 0
-        for event in self.events:
-            control = event.control
-            if control is ControlClass.RETURN:
-                predicted = ras.pop()
-                if predicted is None and btb is not None:
-                    predicted = btb.lookup(event.pc)
-                returns += 1
-                if predicted == event.next_pc:
-                    hits += 1
-                if btb is not None:
-                    btb.update(event.pc, event.next_pc, True)
-            if control.is_call:
-                ras.push(event.pc + 4)
-        return TraceRasResult(
-            returns, hits,
-            ras.stats["overflows"].value,
-            ras.stats["underflows"].value,
-        )
+        """Measure return accuracy for one stack configuration."""
+        return replay_events(self._source(), ras_entries, mechanism,
+                             btb_fallback)
 
     def depth_sweep(
         self,
         sizes: Iterable[int],
         mechanism: RepairMechanism = RepairMechanism.NONE,
     ) -> "dict[int, TraceRasResult]":
-        """Capacity sweep: accuracy and overflow counts per stack size."""
-        return {size: self.evaluate(size, mechanism) for size in sizes}
+        """Capacity sweep: accuracy and overflow counts per stack size.
+
+        Runs all sizes in one pass over the source (see
+        :func:`replay_events_multi`); results are identical to calling
+        :meth:`evaluate` per size.
+        """
+        return replay_events_multi(self._source(), list(sizes), mechanism)
 
     def call_return_counts(self) -> "tuple[int, int]":
-        calls = sum(1 for e in self.events if e.control.is_call)
-        returns = sum(
-            1 for e in self.events if e.control is ControlClass.RETURN)
+        calls = 0
+        returns = 0
+        for event in self._source():
+            if event.control.is_call:
+                calls += 1
+            elif event.control is ControlClass.RETURN:
+                returns += 1
         return calls, returns

@@ -1,0 +1,124 @@
+"""Regenerate ``sample_champsim.trace.xz`` (run from the repo root).
+
+The sample is a tiny, fully deterministic ChampSim-format trace — a
+few hundred 64-byte ``input_instr`` records, xz-compressed — so the
+importer is exercised by tier-1 tests without network access. It
+models a nested call tree: every function runs a few plain
+instructions, a conditional branch, zero or more calls to the next
+depth, and a final return. The instruction "size" is a constant 4
+bytes so a return's target is always its call's ip + 4, which makes
+the expected RAS behaviour exact: with a stack deeper than the maximum
+call depth, replay accuracy is 100%; a 2-entry stack overflows.
+
+Usage::
+
+    PYTHONPATH=src python tests/data/make_sample_champsim.py
+"""
+
+from __future__ import annotations
+
+import lzma
+import pathlib
+import struct
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.corpus.champsim import (  # noqa: E402
+    RECORD,
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER,
+    REG_STACK_POINTER,
+)
+
+OUT = pathlib.Path(__file__).parent / "sample_champsim.trace.xz"
+
+#: Each call depth gets its own code region so ips never collide.
+BASE = 0x0000_4000_0040_0000
+REGION = 0x1000
+MAX_DEPTH = 9
+
+
+def _pack(ip: int, is_branch: int, taken: int, dests, sources) -> bytes:
+    dests = tuple(dests) + (0,) * (2 - len(dests))
+    sources = tuple(sources) + (0,) * (4 - len(sources))
+    return RECORD.pack(ip, is_branch, taken, *dests, *sources,
+                       0, 0, 0, 0, 0, 0)
+
+
+class Synth:
+    def __init__(self) -> None:
+        self.records = []
+
+    def plain(self, ip: int) -> None:
+        self.records.append(_pack(ip, 0, 0, (1,), (2, 3)))
+
+    def cond(self, ip: int, taken: bool) -> None:
+        self.records.append(_pack(
+            ip, 1, int(taken), (REG_INSTRUCTION_POINTER,),
+            (REG_INSTRUCTION_POINTER, REG_FLAGS)))
+
+    def call(self, ip: int) -> None:
+        self.records.append(_pack(
+            ip, 1, 1, (REG_INSTRUCTION_POINTER, REG_STACK_POINTER),
+            (REG_INSTRUCTION_POINTER, REG_STACK_POINTER)))
+
+    def ret(self, ip: int) -> None:
+        self.records.append(_pack(
+            ip, 1, 1, (REG_INSTRUCTION_POINTER, REG_STACK_POINTER),
+            (REG_STACK_POINTER,)))
+
+    def func(self, depth: int) -> None:
+        """Emit one invocation of the depth-``depth`` function."""
+        ip = BASE + depth * REGION
+        self.plain(ip)
+        ip += 4
+        # Alternate taken/not-taken so both conditional shapes appear.
+        taken = depth % 2 == 0
+        self.cond(ip, taken)
+        ip += 12 if taken else 4
+        self.plain(ip)
+        ip += 4
+        # Deeper levels fan out less so the record count stays small.
+        calls = 2 if depth < 3 else (1 if depth < MAX_DEPTH else 0)
+        for _ in range(calls):
+            self.call(ip)
+            self.func(depth + 1)
+            ip += 4  # the callee's return lands at call ip + 4
+            self.plain(ip)
+            ip += 4
+        self.ret(ip)
+
+    def main(self) -> None:
+        """Top-level driver: several rounds of calls into depth 1."""
+        ip = BASE
+        for _ in range(3):
+            self.plain(ip)
+            ip += 4
+            self.call(ip)
+            self.func(1)
+            ip += 4
+            self.plain(ip)
+            ip += 4
+        # A trailing non-branch record gives the last return a target
+        # and leaves no pending branch at end-of-trace.
+        self.plain(ip)
+
+
+def build() -> bytes:
+    synth = Synth()
+    synth.main()
+    return b"".join(synth.records)
+
+
+def main() -> None:
+    payload = build()
+    assert len(payload) % RECORD.size == 0
+    count = len(payload) // RECORD.size
+    OUT.write_bytes(lzma.compress(payload, preset=6))
+    print(f"wrote {OUT.name}: {count} records, "
+          f"{OUT.stat().st_size} bytes compressed")
+
+
+if __name__ == "__main__":
+    main()
