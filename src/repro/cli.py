@@ -11,6 +11,8 @@ Examples:
     repro-sim corpus build traces/ --names li vortex --scale 0.25
     repro-sim corpus import traces/ champsim.trace.xz --name srv0
     repro-sim corpus replay traces/ --jobs 4 --sizes 1 4 16 64
+    repro-sim runs list
+    repro-sim runs compare -2 -1
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.config.defaults import baseline_config
 from repro.config.options import RepairMechanism, StackOrganization
 from repro.core import tables as table_builders
@@ -82,6 +85,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="ignore and don't update the on-disk result "
                             "cache (see docs/performance.md)")
+        p.add_argument("--no-telemetry", action="store_true",
+                       help="disable metrics, spans, and the run ledger "
+                            "(see docs/observability.md)")
         p.add_argument("--json", metavar="OUT", default=None,
                        help="also write the table as JSON to OUT "
                             "(table commands only)")
@@ -167,8 +173,40 @@ def _build_parser() -> argparse.ArgumentParser:
     c.add_argument("--jobs", type=int, default=default_jobs())
     c.add_argument("--no-cache", action="store_true",
                    help="ignore and don't update the on-disk result cache")
+    c.add_argument("--no-telemetry", action="store_true",
+                   help="disable metrics, spans, and the run ledger")
     c.add_argument("--json", metavar="OUT", default=None,
                    help="also write the table as JSON to OUT")
+
+    p = sub.add_parser("runs",
+                       help="inspect the persistent run ledger "
+                            "(docs/observability.md)")
+    rsub = p.add_subparsers(dest="runs_command", required=True)
+
+    def ledger_opt(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--ledger", default=None,
+                        help="ledger file (default: <cache root>/"
+                             "ledger.jsonl)")
+
+    r = rsub.add_parser("list", help="recorded runs, oldest first")
+    ledger_opt(r)
+    r.add_argument("--limit", type=int, default=20,
+                   help="show only the newest N entries (default 20)")
+    r.add_argument("--json", metavar="OUT", default=None,
+                   help="also write the table as JSON to OUT")
+
+    r = rsub.add_parser("show", help="one ledger entry in full")
+    ledger_opt(r)
+    r.add_argument("ref", help="run id (prefix) or index (-1 = latest)")
+
+    r = rsub.add_parser("compare",
+                        help="diff two ledger entries (config fingerprint "
+                             "delta + metric deltas)")
+    ledger_opt(r)
+    r.add_argument("a", help="run id (prefix) or index")
+    r.add_argument("b", help="run id (prefix) or index")
+    r.add_argument("--json", metavar="OUT", default=None,
+                   help="also write the full diff as JSON to OUT")
 
     p = sub.add_parser("report",
                        help="regenerate every table/figure in one pass")
@@ -255,8 +293,9 @@ def _corpus_command(args: argparse.Namespace) -> int:
             mechanism=RepairMechanism(args.mechanism),
             executor=executor, names=args.shards)
         print(format_table(headers, rows, title=title))
+        _print_sweep_summary(executor)
         if args.json:
-            return _write_json(args, title, headers, rows)
+            return _write_json(args, title, headers, rows, executor)
         return 0
     except ReproError as error:
         print(f"repro-sim corpus: {error}", file=sys.stderr)
@@ -268,7 +307,17 @@ def _make_executor(args: argparse.Namespace) -> SweepExecutor:
     return SweepExecutor(jobs=getattr(args, "jobs", None), cache=cache)
 
 
-def _write_json(args: argparse.Namespace, title: str, headers, rows) -> int:
+def _print_sweep_summary(executor: Optional[SweepExecutor]) -> None:
+    """One stderr line with cache hits/misses, wall time, run id."""
+    if executor is None or not telemetry.enabled():
+        return
+    line = executor.summary_line()
+    if line:
+        print(line, file=sys.stderr)
+
+
+def _write_json(args: argparse.Namespace, title: str, headers, rows,
+                executor: Optional[SweepExecutor] = None) -> int:
     payload = {
         "command": args.command,
         "title": title,
@@ -277,6 +326,11 @@ def _write_json(args: argparse.Namespace, title: str, headers, rows) -> int:
         "seed": getattr(args, "seed", None),
         "scale": getattr(args, "scale", None),
     }
+    if executor is not None:
+        payload["cache"] = executor.cache_stats()
+        payload["wall_time_s"] = round(executor.wall_time_s, 6)
+        if executor.run_ids:
+            payload["run_ids"] = list(executor.run_ids)
     try:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, default=str)
@@ -289,17 +343,140 @@ def _write_json(args: argparse.Namespace, title: str, headers, rows) -> int:
     return 0
 
 
+def _runs_command(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.telemetry import RunLedger, compare_entries
+
+    path = args.ledger or str(ResultCache.default_root()
+                              / telemetry.LEDGER_FILENAME)
+    ledger = RunLedger(path)
+    try:
+        if args.runs_command == "list":
+            entries = ledger.entries(limit=args.limit)
+            if not entries:
+                print(f"no runs recorded at {path}", file=sys.stderr)
+                return 1
+            rows = []
+            for entry in entries:
+                cache = entry.get("cache") or {}
+                hit_rate = cache.get("hit_rate")
+                headline = entry.get("headline") or {}
+                accuracy = headline.get("return_accuracy")
+                rows.append([
+                    entry.get("run_id"),
+                    entry.get("utc"),
+                    ",".join(entry.get("engines") or []),
+                    entry.get("submitted"),
+                    entry.get("jobs"),
+                    None if hit_rate is None else round(100 * hit_rate, 1),
+                    entry.get("wall_time_s"),
+                    None if accuracy is None else round(100 * accuracy, 2),
+                ])
+            title = f"Run ledger {path} ({len(entries)} shown)"
+            headers = ["run id", "utc", "engines", "sweeps", "jobs",
+                       "cache hit %", "wall s", "return acc %"]
+            print(format_table(headers, rows, title=title))
+            if args.json:
+                return _write_json(args, title, headers, rows)
+            return 0
+        if args.runs_command == "show":
+            entry = ledger.get(args.ref)
+            integrity = "ok" if ledger.verify(entry) else "MISMATCH"
+            rows = []
+            for key in sorted(entry):
+                if key == "metrics":
+                    continue
+                value = entry[key]
+                if key == "configs":
+                    value = ",".join(str(f)[:12] for f in value)
+                elif key == "code":
+                    value = str(value)[:12]
+                elif isinstance(value, (dict, list)):
+                    value = json.dumps(value, default=str)
+                rows.append([key, value])
+            rows.append(["integrity", f"content hash {integrity}"])
+            print(format_table(
+                ["field", "value"], rows,
+                title=f"Run {entry.get('run_id')}"))
+            metrics = (entry.get("metrics") or {}).get("counters") or {}
+            if metrics:
+                print(format_table(
+                    ["metric", "value"],
+                    [[name, value] for name, value in metrics.items()],
+                    title="Metrics (counters)"))
+            return 0
+        # compare
+        entry_a = ledger.get(args.a)
+        entry_b = ledger.get(args.b)
+        diff = compare_entries(entry_a, entry_b)
+        field_rows = []
+        for field, delta in diff["fields"].items():
+            shown_a, shown_b = delta["a"], delta["b"]
+            if field == "configs":
+                shown_a = ",".join(f[:12] for f in (delta["a"] or []))
+                shown_b = ",".join(f[:12] for f in (delta["b"] or []))
+            elif field == "code":
+                shown_a = str(shown_a)[:12]
+                shown_b = str(shown_b)[:12]
+            elif isinstance(shown_a, (dict, list)) \
+                    or isinstance(shown_b, (dict, list)):
+                shown_a = json.dumps(shown_a, default=str)
+                shown_b = json.dumps(shown_b, default=str)
+            field_rows.append([field, shown_a, shown_b])
+        title = f"Runs {diff['a']} vs {diff['b']}"
+        if field_rows:
+            print(format_table(["field", "a", "b"], field_rows,
+                               title=f"{title}: config delta"))
+        else:
+            print(f"{title}: identical configuration")
+        metric_rows = [
+            [name, values["a"], values["b"], values["delta"]]
+            for name, values in diff["metrics"].items()
+            if values["delta"] or values["a"] != values["b"]
+            or name.startswith(("cache.", "headline.", "wall_time"))
+        ]
+        if metric_rows:
+            print(format_table(["metric", "a", "b", "delta"], metric_rows,
+                               title=f"{title}: metric delta"))
+        if args.json:
+            try:
+                with open(args.json, "w") as handle:
+                    json.dump(diff, handle, indent=2, default=str)
+                    handle.write("\n")
+            except OSError as error:
+                print(f"repro-sim: cannot write --json {args.json}: {error}",
+                      file=sys.stderr)
+                return 1
+            print(f"json written to {args.json}", file=sys.stderr)
+        return 0
+    except ReproError as error:
+        print(f"repro-sim runs: {error}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _fix_names(args)
+    if getattr(args, "no_telemetry", False):
+        # scope the opt-out to this invocation: main() is re-entrant in
+        # tests and long-lived embedding processes
+        with telemetry.disabled():
+            return _dispatch(args)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "corpus":
         return _corpus_command(args)
+    if args.command == "runs":
+        return _runs_command(args)
     if args.command in _TABLE_COMMANDS:
         executor = _make_executor(args)
         title, headers, rows = _TABLE_COMMANDS[args.command](args, executor)
         print(format_table(headers, rows, title=title))
+        _print_sweep_summary(executor)
         if args.json:
-            return _write_json(args, title, headers, rows)
+            return _write_json(args, title, headers, rows, executor)
         return 0
     if args.command == "table2":
         print(build_table2(args.names, seed=args.seed, scale=args.scale))
@@ -376,13 +553,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "report":
         from repro.core.report import build_report
+        executor = _make_executor(args)
         text = build_report(
             names=args.names, seed=args.seed, scale=args.scale,
             full=args.full,
             progress=lambda section: print(f"... {section}",
                                            file=sys.stderr),
-            executor=_make_executor(args),
+            executor=executor,
         )
+        _print_sweep_summary(executor)
         if args.out:
             with open(args.out, "w") as handle:
                 handle.write(text + "\n")

@@ -22,26 +22,38 @@ scheduling point:
   platform refuses to give us a pool. Results always come back in
   submission order, so parallel and serial runs are bit-identical.
 
+Telemetry (see docs/observability.md): every ``SweepExecutor.run``
+opens a ``sweep/run`` span, every job a ``sweep/job`` span, and cache
+probes ``cache/get``/``cache/put`` spans; each sweep additionally
+aggregates a deterministic per-sweep metrics registry from its results
+(in submission order, so parallel == serial bit-for-bit) and appends
+one entry to the run ledger under the cache root. ``--no-telemetry``
+or ``REPRO_TELEMETRY=0`` turns all of it off.
+
 Environment knobs (see docs/performance.md):
 
 * ``REPRO_JOBS`` — default worker count (default 1).
 * ``REPRO_CACHE_DIR`` — cache root (default ``~/.cache/repro-sim``).
 * ``REPRO_CACHE=0`` — disable the default cache entirely.
+* ``REPRO_TELEMETRY=0`` — disable metrics, spans, and the run ledger.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import datetime
 import functools
 import hashlib
 import json
 import multiprocessing
 import os
 import pathlib
+import time
 from typing import Dict, List, Optional, Sequence, Union
 
 import repro
+from repro import telemetry
 from repro.config.machine import MachineConfig
 from repro.core.experiment import (
     WorkloadSpec,
@@ -53,6 +65,8 @@ from repro.core.experiment import (
 from repro.errors import ConfigError
 from repro.isa.program import Program
 from repro.stats.counters import Counter, Rate
+from repro.telemetry import MetricsRegistry, RunLedger, span
+from repro.telemetry import state as telemetry_state
 from repro.trace.replay import TraceShardSpec, replay_shard
 
 #: Engines a job may name: the three simulator families plus streaming
@@ -185,6 +199,11 @@ class JobResult:
     registered, so builders can ask for anything a live ``SimResult``
     offered without holding simulator objects (which do not survive a
     trip through a process pool or the on-disk cache).
+
+    ``wall_time_s`` is the measured simulation time of the process that
+    actually ran the job; a cache hit serves the *original* cost, with
+    ``from_cache`` flipped to ``True`` by the executor, so summaries
+    can report both provenance and the time a hit saved.
     """
 
     engine: str
@@ -193,6 +212,8 @@ class JobResult:
     ipc: float
     counters: Dict[str, int]
     rates: Dict[str, Optional[float]]
+    wall_time_s: float = 0.0
+    from_cache: bool = False
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -246,6 +267,10 @@ class JobResult:
                 str(k): (None if v is None else float(v))
                 for k, v in data["rates"].items()  # type: ignore[union-attr]
             },
+            # absent in pre-telemetry cache entries; default sanely so
+            # old entries still load as (uncosted) fresh-looking results
+            wall_time_s=float(data.get("wall_time_s", 0.0) or 0.0),
+            from_cache=bool(data.get("from_cache", False)),
         )
 
 
@@ -291,15 +316,30 @@ def _run_trace_job(job: ExperimentJob) -> JobResult:
     )
 
 
+def _workload_label(job: ExperimentJob) -> str:
+    if isinstance(job.workload, (WorkloadSpec, TraceShardSpec)):
+        return job.workload.name
+    return "program"
+
+
 def run_job(job: ExperimentJob) -> JobResult:
     """Execute one job in this process and summarise the outcome.
 
     This is the worker entry point for both the serial path and the
     process pool (it is module-level precisely so spawn-based platforms
-    can pickle it).
+    can pickle it). Each invocation is timed (``wall_time_s`` on the
+    result) and traced as one ``sweep/job`` span.
     """
     global SIMULATION_CALLS
     SIMULATION_CALLS += 1
+    started = time.perf_counter()
+    with span("sweep/job", engine=job.engine, workload=_workload_label(job)):
+        result = _dispatch_job(job)
+    return dataclasses.replace(
+        result, wall_time_s=time.perf_counter() - started, from_cache=False)
+
+
+def _dispatch_job(job: ExperimentJob) -> JobResult:
     if job.engine == "trace":
         return _run_trace_job(job)
     program = job.program()
@@ -337,7 +377,10 @@ class ResultCache:
     """
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:
-        self.root = pathlib.Path(root) / f"v{CACHE_SCHEMA}"
+        #: The un-versioned cache root; shared artifacts that must
+        #: survive schema bumps (the run ledger) live directly under it.
+        self.base_root = pathlib.Path(root)
+        self.root = self.base_root / f"v{CACHE_SCHEMA}"
 
     @staticmethod
     def default_root() -> pathlib.Path:
@@ -357,6 +400,17 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[JobResult]:
+        with span("cache/get") as probe:
+            result = self._read(key)
+            if telemetry_state.enabled():
+                outcome = "miss" if result is None else "hit"
+                if probe is not None:
+                    probe.set(outcome=outcome)
+                telemetry.metrics().counter("cache.get",
+                                            outcome=outcome).increment()
+            return result
+
+    def _read(self, key: str) -> Optional[JobResult]:
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -366,16 +420,39 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
 
+    @staticmethod
+    def _tmp_path(path: pathlib.Path) -> pathlib.Path:
+        """A writer-unique sibling temp name.
+
+        ``path.with_suffix(".tmp")`` was shared by every writer of one
+        key, so two pool workers racing on the same entry could clobber
+        each other's half-written temp file. pid + a random token make
+        the name unique per writer (across and within processes); the
+        final ``replace`` stays atomic either way.
+        """
+        token = os.urandom(4).hex()
+        return path.parent / f"{path.name}.{os.getpid()}-{token}.tmp"
+
     def put(self, key: str, result: JobResult) -> None:
-        path = self._path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            payload = {"key": key, "result": result.to_json_dict()}
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(payload))
-            tmp.replace(path)  # atomic: readers never see partial writes
-        except OSError:
-            pass  # a read-only cache dir degrades to "no cache"
+        with span("cache/put"):
+            path = self._path(key)
+            tmp: Optional[pathlib.Path] = None
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                payload = {"key": key, "result": result.to_json_dict()}
+                tmp = self._tmp_path(path)
+                tmp.write_text(json.dumps(payload))
+                tmp.replace(path)  # atomic: readers never see partials
+                if telemetry_state.enabled():
+                    telemetry.metrics().counter("cache.put").increment()
+            except OSError:
+                # a read-only cache dir degrades to "no cache"; don't
+                # leave an orphaned temp file behind on partial failure
+                if tmp is not None:
+                    try:
+                        tmp.unlink(missing_ok=True)
+                    except OSError:
+                        pass
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +480,8 @@ class SweepExecutor:
         self,
         jobs: Optional[int] = None,
         cache: Union[ResultCache, None, str] = "default",
+        telemetry_enabled: Optional[bool] = None,
+        ledger: Union[RunLedger, str, os.PathLike, None] = "auto",
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if cache == "default":
@@ -411,10 +490,60 @@ class SweepExecutor:
             self.cache = cache  # type: ignore[assignment]
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Per-executor telemetry override; ``None`` follows the global
+        #: switch (REPRO_TELEMETRY / --no-telemetry).
+        self.telemetry_enabled = telemetry_enabled
+        if isinstance(ledger, RunLedger) or ledger is None:
+            self.ledger: Optional[RunLedger] = ledger
+        elif ledger == "auto":
+            # the run ledger lives under the cache root; no cache means
+            # no durable root to write under, hence no ledger
+            self.ledger = (RunLedger.at_root(self.cache.base_root)
+                           if self.cache is not None else None)
+        else:
+            self.ledger = RunLedger(ledger)
+        #: Cumulative wall time of every ``run`` call on this executor.
+        self.wall_time_s = 0.0
+        #: Ledger ids appended by this executor, oldest first.
+        self.run_ids: List[str] = []
+        #: Last sweep's ledger entry and deterministic metrics registry.
+        self.last_entry: Optional[Dict[str, object]] = None
+        self.last_metrics: Optional[MetricsRegistry] = None
+
+    def _telemetry_on(self) -> bool:
+        if self.telemetry_enabled is not None:
+            return self.telemetry_enabled
+        return telemetry_state.enabled()
 
     def run(self, jobs: Sequence[ExperimentJob]) -> List[JobResult]:
         """Run every job, returning results in submission order."""
         jobs = list(jobs)
+        if not self._telemetry_on() and telemetry_state.enabled():
+            # executor-local opt-out: silence spans/metrics for the
+            # whole sweep, including serial in-process job runs
+            with telemetry_state.disabled():
+                return self._run_all(jobs)
+        return self._run_all(jobs)
+
+    def _run_all(self, jobs: List[ExperimentJob]) -> List[JobResult]:
+        started = time.perf_counter()
+        hits_before, misses_before = self.cache_hits, self.cache_misses
+        with span("sweep/run", workers=self.jobs,
+                  submitted=len(jobs)) as sweep_span:
+            results = self._resolve(jobs)
+            if sweep_span is not None:
+                sweep_span.set(cache_hits=self.cache_hits - hits_before,
+                               cache_misses=self.cache_misses - misses_before)
+        wall = time.perf_counter() - started
+        self.wall_time_s += wall
+        if jobs and telemetry_state.enabled():
+            self._record_run(jobs, results,
+                             hits=self.cache_hits - hits_before,
+                             misses=self.cache_misses - misses_before,
+                             wall=wall)
+        return results
+
+    def _resolve(self, jobs: List[ExperimentJob]) -> List[JobResult]:
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(jobs)
@@ -423,7 +552,7 @@ class SweepExecutor:
             keys[index] = key
             cached = self.cache.get(key) if key else None
             if cached is not None:
-                results[index] = cached
+                results[index] = dataclasses.replace(cached, from_cache=True)
                 self.cache_hits += 1
             else:
                 if key:
@@ -436,6 +565,134 @@ class SweepExecutor:
                 if keys[index] and self.cache is not None:
                     self.cache.put(keys[index], result)
         return results  # type: ignore[return-value]
+
+    # -- telemetry ------------------------------------------------------
+
+    @staticmethod
+    def _workload_descriptor(job: ExperimentJob) -> Dict[str, object]:
+        workload = job.workload
+        if isinstance(workload, WorkloadSpec):
+            return {"kind": "workload", "name": workload.name,
+                    "seed": workload.seed, "scale": workload.scale}
+        if isinstance(workload, TraceShardSpec):
+            return {"kind": "shard", "name": workload.name,
+                    "checksum": workload.checksum}
+        return {"kind": "program"}
+
+    @staticmethod
+    def _headline(results: Sequence[JobResult]) -> Dict[str, Optional[float]]:
+        """Unweighted mean of every rate present, plus mean ipc.
+
+        Computed from results in submission order with order-insensitive
+        arithmetic, so the headline block is deterministic across
+        ``jobs`` settings.
+        """
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for result in results:
+            for name, value in result.rates.items():
+                if value is None:
+                    continue
+                sums[name] = sums.get(name, 0.0) + value
+                counts[name] = counts.get(name, 0) + 1
+        headline: Dict[str, Optional[float]] = {
+            name: round(sums[name] / counts[name], 6)
+            for name in sorted(sums)
+        }
+        timed = [r.ipc for r in results if r.cycles > 0]
+        if timed:
+            headline["ipc"] = round(sum(timed) / len(timed), 6)
+        return headline
+
+    def sweep_metrics(self, jobs: Sequence[ExperimentJob],
+                      results: Sequence[JobResult]) -> MetricsRegistry:
+        """The deterministic metrics registry for one finished sweep.
+
+        Built purely from ``(job, result)`` pairs in submission order —
+        never from ambient worker state, and never from scheduling
+        parameters like the worker count (that is the ledger entry's
+        ``jobs`` field) — so a parallel sweep aggregates bit-identically
+        to a serial one.
+        """
+        registry = MetricsRegistry()
+        for job, result in zip(jobs, results):
+            registry.counter("executor.jobs", engine=result.engine).increment()
+            if result.from_cache:
+                registry.counter("executor.cache_hits").increment()
+            elif job.cacheable:
+                registry.counter("executor.cache_misses").increment()
+            else:
+                registry.counter("executor.uncached_jobs").increment()
+            registry.counter("executor.instructions").increment(
+                result.instructions)
+            for name, value in result.counters.items():
+                registry.counter(f"result.{name}").increment(value)
+        return registry
+
+    def _record_run(self, jobs: List[ExperimentJob],
+                    results: List[JobResult],
+                    hits: int, misses: int, wall: float) -> None:
+        registry = self.sweep_metrics(jobs, results)
+        self.last_metrics = registry
+        telemetry.metrics().merge(registry.snapshot())
+        seen: Dict[str, Dict[str, object]] = {}
+        for job in jobs:
+            descriptor = self._workload_descriptor(job)
+            seen.setdefault(json.dumps(descriptor, sort_keys=True), descriptor)
+        probed = hits + misses
+        entry: Dict[str, object] = {
+            "kind": "sweep",
+            "ts": round(time.time(), 3),
+            "utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+                "%Y-%m-%dT%H:%M:%SZ"),
+            "engines": sorted({result.engine for result in results}),
+            "jobs": self.jobs,
+            "submitted": len(jobs),
+            "workloads": list(seen.values()),
+            "configs": sorted({job.config.fingerprint() for job in jobs}),
+            "code": code_fingerprint(),
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (round(hits / probed, 6) if probed else None),
+            },
+            "wall_time_s": round(wall, 6),
+            "sim_time_s": round(sum(r.wall_time_s for r in results), 6),
+            "headline": self._headline(results),
+            "metrics": registry.snapshot(),
+        }
+        if self.ledger is not None:
+            entry = self.ledger.append(entry)
+            run_id = entry.get("run_id")
+            if isinstance(run_id, str):
+                self.run_ids.append(run_id)
+        self.last_entry = entry
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Cumulative cache statistics for CLI/JSON summaries."""
+        probed = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "hit_rate": (round(self.cache_hits / probed, 6)
+                         if probed else None),
+        }
+
+    def summary_line(self) -> Optional[str]:
+        """One human line: cache hits/misses, wall time, last run id."""
+        probed = self.cache_hits + self.cache_misses
+        if probed == 0 and self.wall_time_s == 0.0:
+            return None
+        rate = (f"{100.0 * self.cache_hits / probed:.1f}% hit rate"
+                if probed else "no cacheable jobs")
+        parts = [f"cache: {self.cache_hits} hits, "
+                 f"{self.cache_misses} misses ({rate})",
+                 f"{self.wall_time_s:.2f}s"]
+        if self.run_ids:
+            parts.append(f"run {self.run_ids[-1]}")
+        return " · ".join(parts)
+
+    # -- execution ------------------------------------------------------
 
     def _execute(self, jobs: List[ExperimentJob]) -> List[JobResult]:
         if self.jobs > 1 and len(jobs) > 1:

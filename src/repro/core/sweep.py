@@ -22,6 +22,7 @@ from repro.config.options import RepairMechanism, StackOrganization
 from repro.core.executor import ExperimentJob, JobResult, SweepExecutor
 from repro.core.experiment import WorkloadSpec, multipath_machine
 from repro.isa.program import Program
+from repro.telemetry import span
 from repro.trace.replay import TraceShardSpec
 
 Workload = Union[Program, WorkloadSpec]
@@ -42,7 +43,8 @@ def mechanism_sweep(
     mechanisms = list(mechanisms)
     jobs = [ExperimentJob(workload, base.with_repair(mechanism), "cycle")
             for mechanism in mechanisms]
-    results = _executor(executor).run(jobs)
+    with span("sweep/mechanisms", points=len(jobs)):
+        results = _executor(executor).run(jobs)
     return {mechanism: result.as_dict()
             for mechanism, result in zip(mechanisms, results)}
 
@@ -69,7 +71,8 @@ def stack_depth_sweep(
     engine = "fast" if use_fast_model else "cycle"
     jobs = [ExperimentJob(workload, repaired.with_ras_entries(size), engine)
             for size in sizes]
-    results = _executor(executor).run(jobs)
+    with span("sweep/stack-depth", engine=engine, points=len(jobs)):
+        results = _executor(executor).run(jobs)
     return {size: result.return_accuracy
             for size, result in zip(sizes, results)}
 
@@ -95,7 +98,8 @@ def trace_depth_sweep(
     sizes = list(sizes)
     jobs = [ExperimentJob(shard, repaired.with_ras_entries(size), "trace")
             for shard in shards for size in sizes]
-    results = _executor(executor).run(jobs)
+    with span("sweep/trace-depth", shards=len(shards), sizes=len(sizes)):
+        results = _executor(executor).run(jobs)
     swept: Dict[str, Dict[int, JobResult]] = {}
     for index, shard in enumerate(shards):
         chunk = results[index * len(sizes):(index + 1) * len(sizes)]
@@ -116,7 +120,8 @@ def multipath_sweep(
     jobs = [ExperimentJob(workload, multipath_machine(paths, organization),
                           "multipath")
             for paths, organization in grid]
-    results = _executor(executor).run(jobs)
+    with span("sweep/multipath", points=len(jobs)):
+        results = _executor(executor).run(jobs)
     return [
         {
             "paths": paths,

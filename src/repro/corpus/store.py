@@ -31,6 +31,7 @@ from repro.corpus.manifest import CorpusManifest, ShardRecord
 from repro.core.experiment import WorkloadSpec, build_program
 from repro.errors import CorpusError
 from repro.isa.opcodes import ControlClass
+from repro.telemetry import span
 from repro.trace.format import (
     ControlFlowEvent,
     DEFAULT_BLOCK_EVENTS,
@@ -179,20 +180,23 @@ class CorpusStore:
             raise CorpusError(f"shard file {path} already exists")
         calls = 0
         returns = 0
-        try:
-            with open(path, "wb") as stream:
-                writer = TraceWriter(stream, version=version,
-                                     block_events=block_events)
-                for event in events:
-                    writer.append(event)
-                    if event.control.is_call:
-                        calls += 1
-                    elif event.control is ControlClass.RETURN:
-                        returns += 1
-                count = writer.close()
-        except BaseException:
-            path.unlink(missing_ok=True)
-            raise
+        with span("corpus/ingest", shard=name) as ingest:
+            try:
+                with open(path, "wb") as stream:
+                    writer = TraceWriter(stream, version=version,
+                                         block_events=block_events)
+                    for event in events:
+                        writer.append(event)
+                        if event.control.is_call:
+                            calls += 1
+                        elif event.control is ControlClass.RETURN:
+                            returns += 1
+                    count = writer.close()
+            except BaseException:
+                path.unlink(missing_ok=True)
+                raise
+            if ingest is not None:
+                ingest.set(events=count, calls=calls, returns=returns)
         record = ShardRecord(
             name=name,
             filename=path.name,
@@ -213,15 +217,17 @@ class CorpusStore:
         max_instructions: int = 50_000_000,
     ) -> List[ShardRecord]:
         """Record one shard per workload spec via the reference emulator."""
+        specs = list(specs)
         records = []
-        for spec in specs:
-            records.append(self.add_shard(
-                workload_shard_name(spec),
-                iter_control_events(build_program(spec),
-                                    max_instructions=max_instructions),
-                source={"kind": "workload", "name": spec.name,
-                        "seed": spec.seed, "scale": spec.scale},
-            ))
+        with span("corpus/build", shards=len(specs)):
+            for spec in specs:
+                records.append(self.add_shard(
+                    workload_shard_name(spec),
+                    iter_control_events(build_program(spec),
+                                        max_instructions=max_instructions),
+                    source={"kind": "workload", "name": spec.name,
+                            "seed": spec.seed, "scale": spec.scale},
+                ))
         return records
 
     def import_champsim(
@@ -235,12 +241,13 @@ class CorpusStore:
         if name is None:
             name = trace_path.name.split(".")[0]
         stats = ImportStats()
-        record = self.add_shard(
-            name,
-            champsim_events(trace_path, limit=limit, stats=stats),
-            source={"kind": "champsim", "path": str(trace_path),
-                    **({"limit": limit} if limit is not None else {})},
-        )
+        with span("corpus/import", trace=trace_path.name):
+            record = self.add_shard(
+                name,
+                champsim_events(trace_path, limit=limit, stats=stats),
+                source={"kind": "champsim", "path": str(trace_path),
+                        **({"limit": limit} if limit is not None else {})},
+            )
         return record, stats
 
     # -- integrity -----------------------------------------------------
@@ -252,16 +259,20 @@ class CorpusStore:
         shard with the found-vs-expected digests.
         """
         problems = []
-        for record in self.manifest:
-            path = self.shard_path(record)
-            if not path.exists():
-                problems.append(f"{record.name}: shard file {path} missing")
-                continue
-            found = _file_sha256(path)
-            if found != record.checksum:
-                problems.append(
-                    f"{record.name}: checksum mismatch: found {found}, "
-                    f"expected {record.checksum}")
+        with span("corpus/verify", shards=len(self.manifest)) as check:
+            for record in self.manifest:
+                path = self.shard_path(record)
+                if not path.exists():
+                    problems.append(
+                        f"{record.name}: shard file {path} missing")
+                    continue
+                found = _file_sha256(path)
+                if found != record.checksum:
+                    problems.append(
+                        f"{record.name}: checksum mismatch: found {found}, "
+                        f"expected {record.checksum}")
+            if check is not None:
+                check.set(problems=len(problems))
         if problems:
             raise CorpusError(
                 "corpus verification failed:\n  " + "\n  ".join(problems))

@@ -36,6 +36,10 @@ class WorkloadError(ReproError):
     """A workload profile or generated program is malformed."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry operation failed (bad ledger ref, corrupt entry, ...)."""
+
+
 class CorpusError(ReproError):
     """A trace corpus is malformed or inconsistent.
 

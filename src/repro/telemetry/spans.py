@@ -1,0 +1,151 @@
+"""Span tracing: monotonic timing of named operations, JSONL sink.
+
+A *span* covers one timed operation — a sweep, one job, a cache probe,
+a corpus ingest. Usage::
+
+    with span("sweep/job", engine="cycle", workload="li") as sp:
+        ...
+        if sp is not None:
+            sp.set(outcome="hit")      # attach attrs mid-flight
+
+When telemetry is off (:mod:`repro.telemetry.state`) ``span`` yields
+``None`` and costs one function call; when on, it costs two
+``perf_counter`` reads and one deque append. Spans land in the
+process-global :data:`recorder` — a bounded in-memory ring, mirrored
+line-by-line to a JSONL file when ``REPRO_SPAN_LOG=<path>`` is set (or
+a sink is configured programmatically). Span names form a small
+``area/operation`` taxonomy documented in docs/observability.md.
+
+Timing is monotonic (``time.perf_counter``); span ``start_s`` is the
+offset from the recorder's epoch, so spans from one process order
+correctly even across wall-clock adjustments.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional, TextIO
+
+from repro.telemetry import state
+
+ENV_SINK = "REPRO_SPAN_LOG"
+
+#: In-memory ring capacity; old spans fall off, the JSONL sink keeps all.
+DEFAULT_CAPACITY = 4096
+
+
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    __slots__ = ("name", "attrs", "start_s", "duration_ms")
+
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s: float = 0.0
+        self.duration_ms: float = 0.0
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "ms": round(self.duration_ms, 3),
+            "pid": os.getpid(),
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name}, {self.duration_ms:.3f}ms, {self.attrs})"
+
+
+class SpanRecorder:
+    """Bounded in-memory span ring with an optional JSONL mirror."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._ring: Deque[Span] = collections.deque(maxlen=capacity)
+        self._epoch = time.perf_counter()
+        self._sink_path: Optional[str] = None
+        self._sink: Optional[TextIO] = None
+
+    @property
+    def epoch(self) -> float:
+        return self._epoch
+
+    def configure_sink(self, path: Optional[str]) -> None:
+        """Mirror spans to ``path`` as JSONL; ``None`` restores the
+        environment default (``REPRO_SPAN_LOG``)."""
+        if self._sink is not None:
+            try:
+                self._sink.close()
+            except OSError:  # pragma: no cover - close of a dead handle
+                pass
+        self._sink = None
+        self._sink_path = path
+
+    def _sink_handle(self) -> Optional[TextIO]:
+        if self._sink is not None:
+            return self._sink
+        path = self._sink_path or os.environ.get(ENV_SINK)
+        if not path:
+            return None
+        try:
+            self._sink = open(path, "a")
+        except OSError:
+            return None  # an unwritable sink degrades to in-memory only
+        return self._sink
+
+    def record(self, span: Span) -> None:
+        self._ring.append(span)
+        sink = self._sink_handle()
+        if sink is not None:
+            try:
+                # One write call per line: concurrent appenders (pool
+                # workers inherit the sink path) never interleave bytes
+                # mid-line on POSIX append-mode files.
+                sink.write(json.dumps(span.to_json_dict(),
+                                      default=str) + "\n")
+                sink.flush()
+            except (OSError, ValueError):
+                pass
+
+    def records(self, name: Optional[str] = None) -> List[Span]:
+        """Spans recorded so far (newest last), optionally by name."""
+        if name is None:
+            return list(self._ring)
+        return [span for span in self._ring if span.name == name]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+
+#: The process-global recorder every ``span()`` lands in.
+recorder = SpanRecorder()
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Optional[Span]]:
+    """Time a named operation; yields the :class:`Span` or ``None``.
+
+    The span is recorded when the block exits — including on exceptions,
+    so failed operations still show their duration.
+    """
+    if not state.enabled():
+        yield None
+        return
+    record = Span(name, dict(attrs))
+    started = time.perf_counter()
+    try:
+        yield record
+    finally:
+        ended = time.perf_counter()
+        record.start_s = started - recorder.epoch
+        record.duration_ms = (ended - started) * 1000.0
+        recorder.record(record)

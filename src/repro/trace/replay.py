@@ -41,6 +41,7 @@ from repro.bpred.ras import make_ras
 from repro.config.options import RepairMechanism
 from repro.errors import ReproError
 from repro.isa.opcodes import ControlClass
+from repro.telemetry import span
 from repro.trace.format import (
     ControlFlowEvent,
     TraceReader,
@@ -172,8 +173,10 @@ def replay_shard(
 ) -> TraceRasResult:
     """Stream one on-disk shard (v1 or v2) through a RAS configuration."""
     path = shard.path if isinstance(shard, TraceShardSpec) else os.fspath(shard)
-    return replay_events(iter_trace_file(path), ras_entries, mechanism,
-                         btb_fallback)
+    label = shard.name if isinstance(shard, TraceShardSpec) else path
+    with span("trace/replay", shard=label, entries=ras_entries):
+        return replay_events(iter_trace_file(path), ras_entries, mechanism,
+                             btb_fallback)
 
 
 def replay_shard_multi(
@@ -184,8 +187,10 @@ def replay_shard_multi(
 ) -> Dict[int, TraceRasResult]:
     """Depth-sweep one on-disk shard in a single streaming pass."""
     path = shard.path if isinstance(shard, TraceShardSpec) else os.fspath(shard)
-    return replay_events_multi(iter_trace_file(path), sizes, mechanism,
-                               btb_fallback)
+    label = shard.name if isinstance(shard, TraceShardSpec) else path
+    with span("trace/replay-multi", shard=label, sizes=len(sizes)):
+        return replay_events_multi(iter_trace_file(path), sizes, mechanism,
+                                   btb_fallback)
 
 
 _EventSource = Callable[[], Iterator[ControlFlowEvent]]

@@ -1,0 +1,438 @@
+"""Tests for the telemetry subsystem: metrics, spans, ledger, CLI.
+
+Covers the acceptance criteria of the telemetry PR: deterministic
+metric aggregation (parallel == serial, bit-identical), ledger
+round-trip across process "restarts" (fresh RunLedger instances),
+``runs compare`` diff output, cache-provenance fields on JobResult,
+the temp-file race fix in ResultCache.put, and the <3% overhead budget
+on the scale-0.05 smoke sweep.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main as cli_main
+from repro.config.defaults import baseline_config
+from repro.core import ExperimentJob, JobResult, ResultCache, SweepExecutor
+from repro.core.experiment import WorkloadSpec
+from repro.core.sweep import stack_depth_sweep
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    MetricsRegistry,
+    RunLedger,
+    compare_entries,
+    deterministic_view,
+    metric_key,
+    span,
+)
+
+SPEC = WorkloadSpec("li", seed=1, scale=0.05)
+SIZES = (1, 4, 16)
+
+
+def _jobs(sizes=SIZES, engine="fast"):
+    base = baseline_config()
+    return [ExperimentJob(SPEC, base.with_ras_entries(size), engine)
+            for size in sizes]
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    """Force telemetry on and isolate global recorder/registry state."""
+    telemetry.set_enabled(True)
+    telemetry.recorder.clear()
+    telemetry.reset_metrics()
+    yield
+    telemetry.set_enabled(None)
+    telemetry.recorder.configure_sink(None)
+    telemetry.recorder.clear()
+    telemetry.reset_metrics()
+
+
+class TestMetricsRegistry:
+    def test_label_order_never_matters(self):
+        assert metric_key("jobs", {"b": 2, "a": 1}) == "jobs{a=1,b=2}"
+        registry = MetricsRegistry()
+        assert (registry.counter("jobs", engine="fast", kind="x")
+                is registry.counter("jobs", kind="x", engine="fast"))
+
+    def test_snapshot_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", engine="fast").increment(3)
+        registry.gauge("g").set(2.5)
+        registry.rate("r").record_many(3, 4)
+        registry.histogram("h").record(8, 2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c{engine=fast}": 3}
+        assert snap["rates"] == {"r": {"hits": 3, "events": 4}}
+        assert MetricsRegistry.from_snapshot(snap).snapshot() == snap
+
+    def test_merge_semantics(self):
+        a = MetricsRegistry()
+        a.counter("c").increment(1)
+        a.gauge("g").set(5)
+        a.rate("r").record_many(1, 2)
+        a.histogram("h").record(1, 1)
+        b = MetricsRegistry()
+        b.counter("c").increment(2)
+        b.gauge("g").set(3)
+        b.rate("r").record_many(0, 2)
+        b.histogram("h").record(1, 4)
+        merged = a.merge(b.snapshot()).snapshot()
+        assert merged["counters"]["c"] == 3          # counters add
+        assert merged["gauges"]["g"] == 5.0          # gauges keep max
+        assert merged["rates"]["r"] == {"hits": 1, "events": 4}
+        assert merged["histograms"]["h"] == {"1": 5}
+
+    def test_merge_is_order_independent(self):
+        parts = []
+        for hits, events, count in ((1, 3, 2), (4, 4, 1), (0, 2, 7)):
+            registry = MetricsRegistry()
+            registry.counter("c").increment(count)
+            registry.rate("r").record_many(hits, events)
+            registry.gauge("g").set(count)
+            parts.append(registry.snapshot())
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for snap in parts:
+            forward.merge(snap)
+        for snap in reversed(parts):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+
+class TestSpans:
+    def test_span_records_timing_and_attrs(self):
+        with span("test/op", flavour="plain") as sp:
+            sp.set(extra=1)
+        records = telemetry.recorder.records("test/op")
+        assert len(records) == 1
+        assert records[0].attrs == {"flavour": "plain", "extra": 1}
+        assert records[0].duration_ms >= 0.0
+
+    def test_disabled_spans_record_nothing(self):
+        telemetry.set_enabled(False)
+        with span("test/op") as sp:
+            assert sp is None
+        assert telemetry.recorder.records("test/op") == []
+
+    def test_span_survives_exceptions(self):
+        with pytest.raises(ValueError):
+            with span("test/fail"):
+                raise ValueError("boom")
+        assert len(telemetry.recorder.records("test/fail")) == 1
+
+    def test_jsonl_sink(self, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        telemetry.recorder.configure_sink(str(sink))
+        with span("test/sink", n=2):
+            pass
+        telemetry.recorder.configure_sink(None)
+        lines = [json.loads(line) for line in
+                 sink.read_text().splitlines() if line]
+        assert lines and lines[-1]["name"] == "test/sink"
+        assert lines[-1]["attrs"] == {"n": 2}
+        assert "ms" in lines[-1] and "pid" in lines[-1]
+
+
+class TestJobResultProvenance:
+    def test_cold_then_warm_sets_wall_time_and_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = SweepExecutor(jobs=1, cache=cache).run(_jobs())
+        assert all(not result.from_cache for result in cold)
+        assert all(result.wall_time_s > 0.0 for result in cold)
+        warm = SweepExecutor(jobs=1, cache=cache).run(_jobs())
+        assert all(result.from_cache for result in warm)
+        # a hit serves the original simulation cost, not ~zero
+        assert [r.wall_time_s for r in warm] == [r.wall_time_s for r in cold]
+
+    def test_pre_telemetry_cache_entry_still_loads(self):
+        result = JobResult(engine="fast", instructions=10, cycles=5.0,
+                           ipc=2.0, counters={}, rates={})
+        legacy = result.to_json_dict()
+        del legacy["wall_time_s"], legacy["from_cache"]
+        loaded = JobResult.from_json_dict(legacy)
+        assert loaded.wall_time_s == 0.0 and loaded.from_cache is False
+
+    def test_as_dict_unchanged_by_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold, = SweepExecutor(jobs=1, cache=cache).run(_jobs(sizes=(4,)))
+        warm, = SweepExecutor(jobs=1, cache=cache).run(_jobs(sizes=(4,)))
+        assert cold.as_dict() == warm.as_dict()
+
+
+class TestResultCachePut:
+    def test_tmp_names_are_writer_unique(self, tmp_path):
+        target = tmp_path / "ab" / "abcd.json"
+        first = ResultCache._tmp_path(target)
+        second = ResultCache._tmp_path(target)
+        assert first != second
+        assert first.name.startswith("abcd.json.")
+        assert first.suffix == ".tmp"
+
+    def test_put_leaves_no_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = JobResult(engine="fast", instructions=1, cycles=1.0,
+                           ipc=1.0, counters={}, rates={})
+        key = "ab" + "0" * 62
+        cache.put(key, result)
+        cache.put(key, result)  # same-key rewrite (the racing pattern)
+        assert cache.get(key) == result
+        assert not list(cache.root.rglob("*.tmp"))
+
+
+class TestRunLedger:
+    def _entry(self, **overrides):
+        entry = {"kind": "sweep", "engines": ["fast"], "jobs": 1,
+                 "cache": {"hits": 0, "misses": 3, "hit_rate": 0.0},
+                 "configs": ["aa" * 32], "headline": {"return_accuracy": 0.9}}
+        entry.update(overrides)
+        return entry
+
+    def test_roundtrip_survives_restart(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = RunLedger(path).append(self._entry())
+        second = RunLedger(path).append(self._entry(jobs=4))
+        # a fresh instance (a "restarted process") sees both entries
+        reopened = RunLedger(path).entries()
+        assert [entry["run_id"] for entry in reopened] \
+            == [first["run_id"], second["run_id"]]
+        assert all(RunLedger(path).verify(entry) for entry in reopened)
+
+    def test_get_by_index_and_prefix(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        first = ledger.append(self._entry())
+        second = ledger.append(self._entry(jobs=2))
+        assert ledger.get("-1")["run_id"] == second["run_id"]
+        assert ledger.get("0")["run_id"] == first["run_id"]
+        assert ledger.get(first["run_id"][:8])["run_id"] == first["run_id"]
+        with pytest.raises(TelemetryError):
+            ledger.get("zzzz")
+        with pytest.raises(TelemetryError):
+            ledger.get("99")
+
+    def test_tampered_entry_fails_verification(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        entry = ledger.append(self._entry())
+        assert ledger.verify(entry)
+        tampered = dict(entry)
+        tampered["configs"] = ["bb" * 32]  # claim a different machine
+        assert not ledger.verify(tampered)
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.append(self._entry())
+        with open(path, "a") as stream:
+            stream.write('{"kind": "sweep", "truncated')  # crashed writer
+        assert len(RunLedger(path).entries()) == 1
+
+    def test_missing_ledger_is_empty_and_get_raises(self, tmp_path):
+        ledger = RunLedger(tmp_path / "nope.jsonl")
+        assert ledger.entries() == []
+        with pytest.raises(TelemetryError):
+            ledger.get("-1")
+
+
+class TestSweepLedger:
+    def test_executor_appends_verified_entry(self, tmp_path):
+        executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        executor.run(_jobs())
+        ledger = RunLedger.at_root(tmp_path)
+        entries = ledger.entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert ledger.verify(entry)
+        assert entry["engines"] == ["fast"]
+        assert entry["submitted"] == len(SIZES)
+        assert entry["cache"] == {"hits": 0, "misses": len(SIZES),
+                                  "hit_rate": 0.0}
+        assert entry["workloads"] == [{"kind": "workload", "name": "li",
+                                       "seed": 1, "scale": 0.05}]
+        assert len(entry["configs"]) == len(SIZES)
+        assert entry["wall_time_s"] > 0.0
+        assert entry["headline"]["return_accuracy"] is not None
+        counters = entry["metrics"]["counters"]
+        assert counters["executor.jobs{engine=fast}"] == len(SIZES)
+        assert counters["executor.cache_misses"] == len(SIZES)
+
+    def test_parallel_ledger_and_metrics_identical_to_serial(self, tmp_path):
+        serial = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "a"))
+        parallel = SweepExecutor(jobs=4, cache=ResultCache(tmp_path / "b"))
+        serial.run(_jobs())
+        parallel.run(_jobs())
+        entry_serial = RunLedger.at_root(tmp_path / "a").entries()[0]
+        entry_parallel = RunLedger.at_root(tmp_path / "b").entries()[0]
+        # the full metrics snapshot is bit-identical...
+        assert entry_serial["metrics"] == entry_parallel["metrics"]
+        # ...and so is everything else except timing and the worker count
+        view_serial = deterministic_view(entry_serial)
+        view_parallel = deterministic_view(entry_parallel)
+        assert view_serial.pop("jobs") == 1
+        assert view_parallel.pop("jobs") == 4
+        assert view_serial == view_parallel
+
+    def test_warm_rerun_ledgers_full_hit_rate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepExecutor(jobs=1, cache=cache).run(_jobs())
+        SweepExecutor(jobs=1, cache=cache).run(_jobs())
+        warm = RunLedger.at_root(tmp_path).entries()[-1]
+        assert warm["cache"]["hits"] == len(SIZES)
+        assert warm["cache"]["misses"] == 0
+        assert warm["cache"]["hit_rate"] == 1.0
+
+    def test_no_cache_means_no_ledger(self):
+        executor = SweepExecutor(jobs=1, cache=None)
+        executor.run(_jobs(sizes=(4,)))
+        assert executor.ledger is None and executor.run_ids == []
+        assert executor.last_entry is not None  # summary still built
+
+    def test_explicit_ledger_without_cache(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        executor = SweepExecutor(jobs=1, cache=None, ledger=path)
+        executor.run(_jobs(sizes=(4,)))
+        assert len(RunLedger(path).entries()) == 1
+
+    def test_executor_opt_out_suppresses_everything(self, tmp_path):
+        executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path),
+                                 telemetry_enabled=False)
+        executor.run(_jobs(sizes=(4,)))
+        assert RunLedger.at_root(tmp_path).entries() == []
+        assert telemetry.recorder.records("sweep/run") == []
+        assert telemetry.enabled()  # global switch untouched
+
+    def test_spans_and_global_metrics_flow(self, tmp_path):
+        SweepExecutor(jobs=1, cache=ResultCache(tmp_path)).run(_jobs())
+        assert len(telemetry.recorder.records("sweep/run")) == 1
+        assert len(telemetry.recorder.records("sweep/job")) == len(SIZES)
+        snap = telemetry.metrics().snapshot()
+        assert snap["counters"]["cache.get{outcome=miss}"] == len(SIZES)
+        assert snap["counters"]["cache.put"] == len(SIZES)
+
+
+class TestCompare:
+    def test_compare_reports_config_and_metric_deltas(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run(_jobs(sizes=(1, 4)))
+        executor.run(_jobs(sizes=(1, 8)))  # one config swapped
+        a, b = RunLedger.at_root(tmp_path).entries()
+        diff = compare_entries(a, b)
+        assert diff["a"] == a["run_id"] and diff["b"] == b["run_id"]
+        configs = diff["fields"]["configs"]
+        assert len(configs["added"]) == 1 and len(configs["removed"]) == 1
+        assert diff["metrics"]["cache.misses"]["delta"] == -1.0  # one hit
+        accuracy = diff["metrics"]["headline.return_accuracy"]
+        assert accuracy["a"] is not None and accuracy["b"] is not None
+
+    def test_identical_sweeps_differ_only_in_timing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepExecutor(jobs=1, cache=cache).run(_jobs())
+        SweepExecutor(jobs=1, cache=cache).run(_jobs())
+        a, b = RunLedger.at_root(tmp_path).entries()
+        diff = compare_entries(a, b)
+        assert "configs" not in diff["fields"]
+        assert diff["metrics"]["headline.return_accuracy"]["delta"] == 0.0
+
+
+class TestRunsCli:
+    def _sweep_twice(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["stack-depth", "--names", "li", "--scale", "0.05"]
+        assert cli_main(argv) == 0
+        assert cli_main(argv) == 0
+        return str(tmp_path / "cache" / "ledger.jsonl")
+
+    def test_runs_list_show_compare(self, tmp_path, monkeypatch, capsys):
+        ledger_path = self._sweep_twice(tmp_path, monkeypatch)
+        assert cli_main(["runs", "list", "--ledger", ledger_path]) == 0
+        listing = capsys.readouterr().out
+        assert "Run ledger" in listing and "cache hit %" in listing
+        assert cli_main(["runs", "show", "-1", "--ledger", ledger_path]) == 0
+        shown = capsys.readouterr().out
+        assert "content hash ok" in shown
+        out = tmp_path / "diff.json"
+        assert cli_main(["runs", "compare", "-2", "-1",
+                         "--ledger", ledger_path,
+                         "--json", str(out)]) == 0
+        compared = capsys.readouterr().out
+        assert "identical configuration" in compared
+        assert "cache.hits" in compared
+        diff = json.loads(out.read_text())
+        assert diff["metrics"]["cache.hit_rate"]["b"] == 1.0
+
+    def test_runs_errors_are_friendly(self, tmp_path, capsys):
+        missing = str(tmp_path / "none.jsonl")
+        assert cli_main(["runs", "list", "--ledger", missing]) == 1
+        assert cli_main(["runs", "show", "-1", "--ledger", missing]) == 1
+        assert "repro-sim runs" in capsys.readouterr().err
+
+    def test_no_telemetry_flag_writes_no_ledger(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli_main(["stack-depth", "--names", "li", "--scale", "0.05",
+                         "--no-telemetry"]) == 0
+        assert not (tmp_path / "cache" / "ledger.jsonl").exists()
+        assert telemetry.enabled()  # the opt-out is scoped to the call
+
+    def test_env_kill_switch(self, tmp_path, monkeypatch):
+        telemetry.set_enabled(None)  # hand control back to the env
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli_main(["stack-depth", "--names", "li",
+                         "--scale", "0.05"]) == 0
+        assert not (tmp_path / "cache" / "ledger.jsonl").exists()
+
+    def test_json_payload_carries_cache_stats(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "table.json"
+        assert cli_main(["stack-depth", "--names", "li", "--scale", "0.05",
+                         "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["cache"]["misses"] > 0
+        assert payload["cache"]["hits"] == 0
+        assert payload["wall_time_s"] > 0.0
+        assert len(payload["run_ids"]) >= 1
+
+    def test_cli_summary_line_on_stderr(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli_main(["stack-depth", "--names", "li",
+                         "--scale", "0.05"]) == 0
+        err = capsys.readouterr().err
+        assert "cache:" in err and "hit rate" in err and "run " in err
+
+
+class TestOverheadBudget:
+    def test_overhead_under_three_percent_on_smoke_sweep(self, tmp_path):
+        """The acceptance budget: telemetry on (spans + metrics + ledger)
+        costs <3% wall time on the scale-0.05 smoke sweep."""
+        sizes = (1, 2, 4, 8, 16, 32)
+        ledger_path = tmp_path / "ledger.jsonl"
+
+        def timed(telemetry_on: bool) -> float:
+            telemetry.set_enabled(telemetry_on)
+            executor = SweepExecutor(
+                jobs=1, cache=None,
+                ledger=ledger_path if telemetry_on else None)
+            started = time.perf_counter()
+            stack_depth_sweep(SPEC, sizes, executor=executor)
+            return time.perf_counter() - started
+
+        timed(False)  # warm the program build memo before timing
+        timed(True)
+        baseline, instrumented = [], []
+        for _ in range(3):
+            baseline.append(timed(False))
+            instrumented.append(timed(True))
+        telemetry.set_enabled(True)
+        best_off = min(baseline)
+        best_on = min(instrumented)
+        # the absolute floor only matters for degenerate sub-ms runs
+        budget = max(best_off * 1.03, best_off + 0.004)
+        assert best_on <= budget, (
+            f"telemetry overhead {(best_on / best_off - 1) * 100:.2f}% "
+            f"exceeds the 3% budget ({best_on:.4f}s vs {best_off:.4f}s)")
+        # the instrumented runs really did ledger their sweeps
+        assert len(RunLedger(ledger_path).entries()) >= 4
