@@ -1,0 +1,43 @@
+"""Benchmark baseline management and the CI performance-regression gate.
+
+The benchmark harness persists one ``BENCH_<name>.json`` per target
+(rows + wall time + scale/seed; see ``benchmarks/conftest.py``). This
+package turns those artifacts into a regression gate:
+
+* :func:`snapshot_baseline` freezes a bench run into a committed
+  baseline file (``benchmarks/baselines/smoke.json``);
+* :func:`compare_against_baseline` checks a fresh run against the
+  baseline — wall times within a configurable tolerance, row counts
+  exactly — and reports per-bench verdicts CI can fail on.
+
+The CLI front end is ``repro-sim bench compare`` / ``bench snapshot``;
+the CI wiring is documented in docs/performance.md.
+"""
+
+from repro.bench.gate import (
+    BASELINE_SCHEMA,
+    DEFAULT_MIN_WALL_S,
+    DEFAULT_TOLERANCE,
+    BenchCheck,
+    BenchGateError,
+    compare_against_baseline,
+    load_baseline,
+    load_bench_dir,
+    render_report,
+    snapshot_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_MIN_WALL_S",
+    "DEFAULT_TOLERANCE",
+    "BenchCheck",
+    "BenchGateError",
+    "compare_against_baseline",
+    "load_baseline",
+    "load_bench_dir",
+    "render_report",
+    "snapshot_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,289 @@
+"""Compare BENCH_*.json artifacts against a committed baseline.
+
+The gate's contract (see docs/performance.md):
+
+* every bench named in the baseline must be present in the current run
+  and produce the same number of table rows (a row-count change means
+  the bench measured different work — never acceptable silently);
+* each bench's wall time may exceed its baseline by at most the
+  tolerance (default 25%); being *faster* never fails, it is reported
+  so the baseline can be re-snapshotted;
+* benches whose baseline and current wall times are both under the
+  noise floor are checked for rows only — sub-100ms timings on shared
+  CI runners are noise, not signal;
+* the baseline records the scale/seed it was captured at, and a
+  current run at a different scale or seed fails immediately: timings
+  across scales are not comparable.
+
+Regenerate the baseline with ``repro-sim bench snapshot`` after an
+intentional performance change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ReproError
+
+#: Bump when the baseline JSON layout changes.
+BASELINE_SCHEMA = 1
+
+#: Wall-time headroom a bench may use before the gate fails it.
+DEFAULT_TOLERANCE = 0.25
+
+#: Benches faster than this (baseline and current) are rows-only: the
+#: timing is runner noise.
+DEFAULT_MIN_WALL_S = 0.2
+
+Pathish = Union[str, pathlib.Path]
+
+
+class BenchGateError(ReproError):
+    """The comparison itself could not run (missing or invalid files)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchCheck:
+    """One bench's verdict against the baseline."""
+
+    name: str
+    #: "ok" | "faster" | "slower" | "rows-changed" | "missing" |
+    #: "untracked" (present in the run, absent from the baseline).
+    status: str
+    detail: str
+    baseline_wall_s: Optional[float] = None
+    current_wall_s: Optional[float] = None
+    ratio: Optional[float] = None
+    baseline_rows: Optional[int] = None
+    current_rows: Optional[int] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("slower", "rows-changed", "missing")
+
+
+def load_bench_dir(out_dir: Pathish) -> Dict[str, Dict[str, object]]:
+    """Parse every ``BENCH_*.json`` under ``out_dir``, keyed by name."""
+    out = pathlib.Path(out_dir)
+    if not out.is_dir():
+        raise BenchGateError(f"bench output directory {out} does not exist")
+    benches: Dict[str, Dict[str, object]] = {}
+    for path in sorted(out.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise BenchGateError(f"unreadable bench artifact {path}: {error}")
+        try:
+            benches[str(payload["name"])] = {
+                "wall_time_s": float(payload["wall_time_s"]),
+                "rows": len(payload["rows"]),
+                "scale": payload.get("scale"),
+                "seed": payload.get("seed"),
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise BenchGateError(f"malformed bench artifact {path}: {error}")
+    if not benches:
+        raise BenchGateError(f"no BENCH_*.json artifacts under {out}")
+    return benches
+
+
+def snapshot_baseline(
+    out_dir: Pathish,
+    tolerance: float = DEFAULT_TOLERANCE,
+    note: str = "",
+) -> Dict[str, object]:
+    """Freeze a bench run into a baseline payload."""
+    benches = load_bench_dir(out_dir)
+    scales = {entry["scale"] for entry in benches.values()}
+    seeds = {entry["seed"] for entry in benches.values()}
+    if len(scales) > 1 or len(seeds) > 1:
+        raise BenchGateError(
+            f"mixed scale/seed in {out_dir}: scales={sorted(map(str, scales))},"
+            f" seeds={sorted(map(str, seeds))}; snapshot one run at a time"
+        )
+    return {
+        "schema": BASELINE_SCHEMA,
+        "tolerance": tolerance,
+        "note": note,
+        "source": {"scale": scales.pop(), "seed": seeds.pop()},
+        "benches": {
+            name: {"wall_time_s": entry["wall_time_s"], "rows": entry["rows"]}
+            for name, entry in sorted(benches.items())
+        },
+    }
+
+
+def write_baseline(
+    out_dir: Pathish,
+    baseline_path: Pathish,
+    tolerance: float = DEFAULT_TOLERANCE,
+    note: str = "",
+) -> Dict[str, object]:
+    """Snapshot ``out_dir`` and write the baseline JSON file."""
+    payload = snapshot_baseline(out_dir, tolerance=tolerance, note=note)
+    path = pathlib.Path(baseline_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def load_baseline(path: Pathish) -> Dict[str, object]:
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise BenchGateError(f"unreadable baseline {path}: {error}")
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise BenchGateError(
+            f"baseline {path}: schema {payload.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA}"
+        )
+    if not isinstance(payload.get("benches"), dict) or not payload["benches"]:
+        raise BenchGateError(f"baseline {path} names no benches")
+    return payload
+
+
+def compare_against_baseline(
+    baseline: Dict[str, object],
+    out_dir: Pathish,
+    tolerance: Optional[float] = None,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> List[BenchCheck]:
+    """Check one bench run against a loaded baseline.
+
+    ``tolerance`` defaults to the value recorded in the baseline file
+    (itself defaulting to 25%). Returns one :class:`BenchCheck` per
+    baseline bench plus an ``untracked`` entry per extra bench in the
+    run; the gate fails iff any check's ``failed`` flag is set.
+    """
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    if tolerance < 0:
+        raise BenchGateError(f"tolerance must be >= 0, got {tolerance}")
+    current = load_bench_dir(out_dir)
+    checks: List[BenchCheck] = []
+    source = baseline.get("source") or {}
+    for name, entry in current.items():
+        for key in ("scale", "seed"):
+            want, got = source.get(key), entry.get(key)
+            if want is not None and got is not None and want != got:
+                raise BenchGateError(
+                    f"bench {name}: {key} mismatch: baseline recorded "
+                    f"{key}={want}, current run used {key}={got}; "
+                    f"timings are not comparable across {key}s"
+                )
+    benches = baseline["benches"]
+    for name in sorted(benches):
+        base = benches[name]
+        base_wall = float(base["wall_time_s"])  # type: ignore[arg-type]
+        base_rows = int(base["rows"])  # type: ignore[arg-type]
+        got = current.get(name)
+        if got is None:
+            checks.append(
+                BenchCheck(
+                    name=name,
+                    status="missing",
+                    detail="bench named in the baseline was not produced",
+                    baseline_wall_s=base_wall,
+                    baseline_rows=base_rows,
+                )
+            )
+            continue
+        cur_wall = float(got["wall_time_s"])  # type: ignore[arg-type]
+        cur_rows = int(got["rows"])  # type: ignore[arg-type]
+        ratio = cur_wall / base_wall if base_wall > 0 else None
+        common = dict(
+            name=name,
+            baseline_wall_s=base_wall,
+            current_wall_s=cur_wall,
+            ratio=None if ratio is None else round(ratio, 3),
+            baseline_rows=base_rows,
+            current_rows=cur_rows,
+        )
+        if cur_rows != base_rows:
+            checks.append(
+                BenchCheck(
+                    status="rows-changed",
+                    detail=f"rows: found {cur_rows}, expected {base_rows}",
+                    **common,
+                )
+            )
+            continue
+        if base_wall <= min_wall_s and cur_wall <= min_wall_s:
+            checks.append(
+                BenchCheck(
+                    status="ok",
+                    detail=f"under the {min_wall_s}s noise floor; rows only",
+                    **common,
+                )
+            )
+            continue
+        limit = base_wall * (1.0 + tolerance)
+        if cur_wall > limit:
+            checks.append(
+                BenchCheck(
+                    status="slower",
+                    detail=(
+                        f"wall {cur_wall:.3f}s exceeds {base_wall:.3f}s "
+                        f"+{tolerance:.0%} (limit {limit:.3f}s)"
+                    ),
+                    **common,
+                )
+            )
+        elif base_wall > 0 and cur_wall < base_wall / (1.0 + tolerance):
+            checks.append(
+                BenchCheck(
+                    status="faster",
+                    detail=(
+                        f"wall {cur_wall:.3f}s beats {base_wall:.3f}s; "
+                        f"consider re-snapshotting the baseline"
+                    ),
+                    **common,
+                )
+            )
+        else:
+            checks.append(
+                BenchCheck(status="ok", detail="within tolerance", **common)
+            )
+    for name in sorted(set(current) - set(benches)):
+        entry = current[name]
+        checks.append(
+            BenchCheck(
+                name=name,
+                status="untracked",
+                detail="not in the baseline; add it with bench snapshot",
+                current_wall_s=float(entry["wall_time_s"]),  # type: ignore[arg-type]
+                current_rows=int(entry["rows"]),  # type: ignore[arg-type]
+            )
+        )
+    return checks
+
+
+def render_report(checks: List[BenchCheck], tolerance: float) -> str:
+    """Human-readable verdict table, one line per bench."""
+    lines = [f"bench gate (tolerance {tolerance:.0%}):"]
+    for check in checks:
+        if check.baseline_wall_s is None:
+            wall = "n/a"
+        elif check.current_wall_s is None:
+            wall = f"{check.baseline_wall_s:.3f}s -> n/a"
+        else:
+            wall = (
+                f"{check.baseline_wall_s:.3f}s -> "
+                f"{check.current_wall_s:.3f}s"
+            )
+        ratio = "" if check.ratio is None else f" ({check.ratio:.2f}x)"
+        flag = "FAIL" if check.failed else "  ok"
+        lines.append(
+            f"  {flag}  {check.name}: {check.status} [{wall}{ratio}] "
+            f"{check.detail}"
+        )
+    failed = [check.name for check in checks if check.failed]
+    if failed:
+        lines.append(f"REGRESSION: {', '.join(failed)}")
+    else:
+        lines.append("all benches within tolerance")
+    return "\n".join(lines)

@@ -11,8 +11,11 @@ Examples:
     repro-sim corpus build traces/ --names li vortex --scale 0.25
     repro-sim corpus import traces/ champsim.trace.xz --name srv0
     repro-sim corpus replay traces/ --jobs 4 --sizes 1 4 16 64
+    repro-sim corpus replay traces/ --engine batch      # fast replay
     repro-sim runs list
     repro-sim runs compare -2 -1
+    repro-sim bench compare benchmarks/baselines/smoke.json benchmarks/out
+    repro-sim bench snapshot benchmarks/out benchmarks/baselines/smoke.json
 """
 
 from __future__ import annotations
@@ -168,6 +171,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    default=[1, 2, 4, 8, 12, 16, 32, 64])
     c.add_argument("--mechanism", default="none",
                    choices=[m.value for m in RepairMechanism])
+    c.add_argument("--engine", default="trace", choices=["trace", "batch"],
+                   help="replay path: 'trace' streams events, 'batch' "
+                        "decodes block-at-a-time (identical counters, "
+                        "several times faster; docs/performance.md)")
     c.add_argument("--shards", nargs="*", default=None,
                    help="restrict to these shard names")
     c.add_argument("--jobs", type=int, default=default_jobs())
@@ -207,6 +214,38 @@ def _build_parser() -> argparse.ArgumentParser:
     r.add_argument("b", help="run id (prefix) or index")
     r.add_argument("--json", metavar="OUT", default=None,
                    help="also write the full diff as JSON to OUT")
+
+    p = sub.add_parser("bench",
+                       help="benchmark baselines and the CI regression "
+                            "gate (docs/performance.md)")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bsub.add_parser("compare",
+                        help="gate BENCH_*.json artifacts against a "
+                             "baseline; exit 1 on regression")
+    b.add_argument("baseline", help="baseline JSON "
+                                    "(e.g. benchmarks/baselines/smoke.json)")
+    b.add_argument("out", help="directory of BENCH_*.json artifacts "
+                               "(e.g. benchmarks/out)")
+    b.add_argument("--tolerance", type=float, default=None,
+                   help="allowed wall-time headroom as a fraction "
+                        "(default: the baseline's recorded tolerance, "
+                        "itself defaulting to 0.25)")
+    b.add_argument("--min-wall", type=float, default=None,
+                   help="noise floor in seconds; benches under it are "
+                        "checked for row counts only (default 0.2)")
+    b.add_argument("--json", metavar="OUT", default=None,
+                   help="also write the per-bench verdicts as JSON to OUT")
+
+    b = bsub.add_parser("snapshot",
+                        help="freeze a bench run into a baseline file")
+    b.add_argument("out", help="directory of BENCH_*.json artifacts")
+    b.add_argument("baseline", help="baseline JSON file to write")
+    b.add_argument("--tolerance", type=float, default=None,
+                   help="tolerance to record in the baseline "
+                        "(default 0.25)")
+    b.add_argument("--note", default="",
+                   help="free-form provenance note to record")
 
     p = sub.add_parser("report",
                        help="regenerate every table/figure in one pass")
@@ -291,7 +330,7 @@ def _corpus_command(args: argparse.Namespace) -> int:
         title, headers, rows = corpus_depth_sweep(
             store, sizes=args.sizes,
             mechanism=RepairMechanism(args.mechanism),
-            executor=executor, names=args.shards)
+            executor=executor, names=args.shards, engine=args.engine)
         print(format_table(headers, rows, title=title))
         _print_sweep_summary(executor)
         if args.json:
@@ -341,6 +380,63 @@ def _write_json(args: argparse.Namespace, title: str, headers, rows,
         return 1
     print(f"json written to {args.json}", file=sys.stderr)
     return 0
+
+
+def _bench_command(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.bench import (
+        DEFAULT_MIN_WALL_S,
+        DEFAULT_TOLERANCE,
+        BenchGateError,
+        compare_against_baseline,
+        load_baseline,
+        render_report,
+        write_baseline,
+    )
+
+    try:
+        if args.bench_command == "snapshot":
+            tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
+                         else args.tolerance)
+            payload = write_baseline(args.out, args.baseline,
+                                     tolerance=tolerance, note=args.note)
+            print(f"baseline written to {args.baseline}: "
+                  f"{len(payload['benches'])} benches at "
+                  f"scale={payload['source']['scale']}, "
+                  f"tolerance {tolerance:.0%}")
+            return 0
+        # compare
+        baseline = load_baseline(args.baseline)
+        tolerance = (float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+                     if args.tolerance is None else args.tolerance)
+        min_wall = (DEFAULT_MIN_WALL_S if args.min_wall is None
+                    else args.min_wall)
+        checks = compare_against_baseline(
+            baseline, args.out, tolerance=tolerance, min_wall_s=min_wall)
+        print(render_report(checks, tolerance))
+        failed = any(check.failed for check in checks)
+        if args.json:
+            payload = {
+                "baseline": args.baseline,
+                "tolerance": tolerance,
+                "min_wall_s": min_wall,
+                "failed": failed,
+                "checks": [dataclasses.asdict(check) for check in checks],
+            }
+            try:
+                with open(args.json, "w") as handle:
+                    json.dump(payload, handle, indent=2)
+                    handle.write("\n")
+            except OSError as error:
+                print(f"repro-sim: cannot write --json {args.json}: {error}",
+                      file=sys.stderr)
+                return 1
+            print(f"json written to {args.json}", file=sys.stderr)
+        return 1 if failed else 0
+    except BenchGateError as error:
+        print(f"repro-sim bench: {error}", file=sys.stderr)
+        return 1
 
 
 def _runs_command(args: argparse.Namespace) -> int:
@@ -470,6 +566,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _corpus_command(args)
     if args.command == "runs":
         return _runs_command(args)
+    if args.command == "bench":
+        return _bench_command(args)
     if args.command in _TABLE_COMMANDS:
         executor = _make_executor(args)
         title, headers, rows = _TABLE_COMMANDS[args.command](args, executor)

@@ -63,15 +63,23 @@ from repro.core.experiment import (
     run_multipath,
 )
 from repro.errors import ConfigError
+from repro.fastsim.batch import replay_shard_batched
 from repro.isa.program import Program
 from repro.stats.counters import Counter, Rate
 from repro.telemetry import MetricsRegistry, RunLedger, span
 from repro.telemetry import state as telemetry_state
 from repro.trace.replay import TraceShardSpec, replay_shard
 
-#: Engines a job may name: the three simulator families plus streaming
-#: trace-shard replay (capacity sweeps over recorded control flow).
-ENGINES = ("cycle", "fast", "multipath", "trace")
+#: Engines a job may name: the three simulator families plus the two
+#: trace-shard replay paths (capacity sweeps over recorded control
+#: flow): ``"trace"`` streams one event at a time, ``"batch"`` decodes
+#: block-at-a-time into flat arrays (bit-identical counters, several
+#: times the throughput; see docs/performance.md).
+ENGINES = ("cycle", "fast", "multipath", "trace", "batch")
+
+#: The engines that replay recorded trace shards (their jobs carry a
+#: TraceShardSpec instead of a workload).
+TRACE_ENGINES = ("trace", "batch")
 
 #: Bump when the cached JobResult schema changes shape.
 CACHE_SCHEMA = 1
@@ -136,12 +144,12 @@ class ExperimentJob:
         if self.engine not in ENGINES:
             raise ConfigError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}")
-        if (self.engine == "trace") != isinstance(self.workload,
-                                                  TraceShardSpec):
+        if (self.engine in TRACE_ENGINES) != isinstance(self.workload,
+                                                        TraceShardSpec):
             raise ConfigError(
                 f"engine {self.engine!r} is incompatible with workload "
                 f"{type(self.workload).__name__}; trace shards pair with "
-                f"the 'trace' engine only")
+                f"the {TRACE_ENGINES} engines only")
 
     @property
     def cacheable(self) -> bool:
@@ -287,19 +295,28 @@ def _group_stats(group) -> Dict[str, Dict[str, object]]:
 
 
 def _run_trace_job(job: ExperimentJob) -> JobResult:
-    """Stream a trace shard through the RAS the job's config describes.
+    """Replay a trace shard through the RAS the job's config describes.
 
     Replay semantics are exactly
     :meth:`repro.trace.replay.TraceRasEvaluator.evaluate` (RAS with BTB
     fallback), so corpus sweeps reproduce the in-memory path
-    bit-for-bit. ``instructions`` reports the shard's control-event
-    count; there is no cycle model here, so cycles/ipc are zero.
+    bit-for-bit — whichever replay engine runs: ``"trace"`` streams
+    events, ``"batch"`` decodes block-at-a-time
+    (:func:`repro.fastsim.batch.replay_shard_batched`, bit-identical
+    counters, asserted by the differential tests). ``instructions``
+    reports the shard's control-event count; there is no cycle model
+    here, so cycles/ipc are zero.
     """
     shard = job.workload
     assert isinstance(shard, TraceShardSpec)
     predictor = job.config.predictor
-    result = replay_shard(shard, ras_entries=predictor.ras_entries,
-                          mechanism=predictor.ras_repair)
+    if job.engine == "batch":
+        result = replay_shard_batched(shard,
+                                      ras_entries=predictor.ras_entries,
+                                      mechanism=predictor.ras_repair)
+    else:
+        result = replay_shard(shard, ras_entries=predictor.ras_entries,
+                              mechanism=predictor.ras_repair)
     return JobResult(
         engine=job.engine,
         instructions=shard.events or 0,
@@ -340,7 +357,7 @@ def run_job(job: ExperimentJob) -> JobResult:
 
 
 def _dispatch_job(job: ExperimentJob) -> JobResult:
-    if job.engine == "trace":
+    if job.engine in TRACE_ENGINES:
         return _run_trace_job(job)
     program = job.program()
     if job.engine == "cycle":

@@ -83,22 +83,28 @@ def trace_depth_sweep(
     mechanism: RepairMechanism = RepairMechanism.NONE,
     base: Optional[MachineConfig] = None,
     executor: Optional[SweepExecutor] = None,
+    engine: str = "trace",
 ) -> Dict[str, Dict[int, JobResult]]:
     """Stack-depth capacity sweep over on-disk trace shards.
 
     One executor job per ``shard x size`` — the unit the result cache
-    keys on (shard checksum + config fingerprint), so re-sweeping an
-    unchanged corpus is pure cache hits and adding one shard only
-    replays that shard. Results carry the full return/overflow counters
-    (see the executor's ``"trace"`` engine) keyed by shard name then
-    stack size.
+    keys on (shard checksum + config fingerprint + engine), so
+    re-sweeping an unchanged corpus is pure cache hits and adding one
+    shard only replays that shard. Results carry the full
+    return/overflow counters keyed by shard name then stack size.
+
+    ``engine`` selects the replay path: ``"trace"`` (streaming,
+    event-at-a-time) or ``"batch"`` (block-at-a-time flat-array decode,
+    bit-identical counters at several times the throughput — see
+    docs/performance.md).
     """
     repaired = (base or baseline_config()).with_repair(mechanism)
     shards = list(shards)
     sizes = list(sizes)
-    jobs = [ExperimentJob(shard, repaired.with_ras_entries(size), "trace")
+    jobs = [ExperimentJob(shard, repaired.with_ras_entries(size), engine)
             for shard in shards for size in sizes]
-    with span("sweep/trace-depth", shards=len(shards), sizes=len(sizes)):
+    with span("sweep/trace-depth", shards=len(shards), sizes=len(sizes),
+              engine=engine):
         results = _executor(executor).run(jobs)
     swept: Dict[str, Dict[int, JobResult]] = {}
     for index, shard in enumerate(shards):

@@ -30,11 +30,16 @@ def corpus_depth_results(
     mechanism: RepairMechanism = RepairMechanism.NONE,
     executor: Optional[SweepExecutor] = None,
     names: Optional[Iterable[str]] = None,
+    engine: str = "trace",
 ) -> Dict[str, Dict[int, JobResult]]:
-    """Raw per-shard, per-size replay results for ``store``."""
+    """Raw per-shard, per-size replay results for ``store``.
+
+    ``engine`` picks the replay path (``"trace"`` streaming or
+    ``"batch"`` block-decoded; identical counters either way).
+    """
     return trace_depth_sweep(
         store.specs(names=names), sizes, mechanism=mechanism,
-        executor=executor)
+        executor=executor, engine=engine)
 
 
 def corpus_depth_sweep(
@@ -43,6 +48,7 @@ def corpus_depth_sweep(
     mechanism: RepairMechanism = RepairMechanism.NONE,
     executor: Optional[SweepExecutor] = None,
     names: Optional[Iterable[str]] = None,
+    engine: str = "trace",
 ) -> TableData:
     """Stack-depth sweep over a corpus, shaped like the F3 table.
 
@@ -51,7 +57,8 @@ def corpus_depth_sweep(
     the shard's return count for scale.
     """
     results = corpus_depth_results(store, sizes, mechanism=mechanism,
-                                   executor=executor, names=names)
+                                   executor=executor, names=names,
+                                   engine=engine)
     rows: List[List[object]] = []
     for name, by_size in results.items():
         row: List[object] = [name]

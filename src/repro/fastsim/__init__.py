@@ -9,8 +9,33 @@ followed by checkpoint repair. Roughly an order of magnitude faster
 than the cycle model; used for large parameter sweeps (stack-depth
 sensitivity) and as a cross-check of the cycle model's hit-rate trends
 (ablation A3).
+
+:mod:`repro.fastsim.batch` applies the same philosophy to recorded
+traces: shards are decoded block-at-a-time into flat columns and
+replayed with branch-class dispatch hoisted out of the inner loop,
+bit-identical to the streaming evaluator but several times faster (the
+executor's ``"batch"`` engine; see docs/performance.md).
 """
 
+from repro.fastsim.batch import (
+    EventBatch,
+    decoder_backend,
+    iter_event_batches,
+    replay_batches,
+    replay_batches_multi,
+    replay_shard_batched,
+    replay_shard_batched_multi,
+)
 from repro.fastsim.frontend_sim import FastFrontEndSim, FastSimResult
 
-__all__ = ["FastFrontEndSim", "FastSimResult"]
+__all__ = [
+    "EventBatch",
+    "FastFrontEndSim",
+    "FastSimResult",
+    "decoder_backend",
+    "iter_event_batches",
+    "replay_batches",
+    "replay_batches_multi",
+    "replay_shard_batched",
+    "replay_shard_batched_multi",
+]

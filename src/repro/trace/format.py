@@ -255,6 +255,25 @@ class TraceReader:
             yield ControlFlowEvent(_CLASS_LIST[class_index], pc, next_pc, gap)
 
     def _iter_v2(self) -> Iterator[ControlFlowEvent]:
+        for raw, _count in self._iter_v2_blocks():
+            for class_index, pc, next_pc, gap in _EVENT2.iter_unpack(raw):
+                if class_index >= len(_CLASS_LIST):
+                    raise TraceFormatError(
+                        f"bad control class: found {class_index}, expected "
+                        f"< {len(_CLASS_LIST)}")
+                yield ControlFlowEvent(
+                    _CLASS_LIST[class_index], pc, next_pc, gap)
+
+    def _iter_v2_blocks(self) -> Iterator[Tuple[bytes, int]]:
+        """Decode one v2 block at a time: ``(raw event bytes, count)``.
+
+        Runs every integrity check the streaming event iterator applies
+        — header/payload truncation, event-count and size sanity, the
+        per-block CRC, and decompression — so any consumer of raw
+        blocks (the batched replay engine in
+        :mod:`repro.fastsim.batch`) reports corruption with exactly the
+        same typed errors as event-at-a-time reads.
+        """
         remaining = self.count
         block = 0
         while remaining > 0:
@@ -292,15 +311,43 @@ class TraceReader:
                 raise TraceFormatError(
                     f"block {block}: bad decompressed size: found "
                     f"{len(raw)} bytes, expected {raw_size}")
-            for class_index, pc, next_pc, gap in _EVENT2.iter_unpack(raw):
-                if class_index >= len(_CLASS_LIST):
-                    raise TraceFormatError(
-                        f"bad control class: found {class_index}, expected "
-                        f"< {len(_CLASS_LIST)}")
-                yield ControlFlowEvent(
-                    _CLASS_LIST[class_index], pc, next_pc, gap)
+            yield raw, count
             remaining -= count
             block += 1
+
+    def _iter_v1_blocks(self, block_events: int) -> Iterator[Tuple[bytes, int]]:
+        remaining = self.count
+        while remaining > 0:
+            count = min(block_events, remaining)
+            raw = self._stream.read(count * _EVENT.size)
+            if len(raw) % _EVENT.size:
+                raise TraceFormatError(
+                    f"truncated trace body: found {len(raw) % _EVENT.size} "
+                    f"bytes, expected {_EVENT.size}")
+            if len(raw) != count * _EVENT.size:
+                raise TraceFormatError(
+                    f"truncated trace body: found 0 bytes, "
+                    f"expected {_EVENT.size}")
+            yield raw, count
+            remaining -= count
+
+    def iter_raw_blocks(
+        self, block_events: int = DEFAULT_BLOCK_EVENTS,
+    ) -> Iterator[Tuple[int, bytes, int]]:
+        """Yield ``(event_size, raw event bytes, count)`` per block.
+
+        The batch-decode entry point: v2 traces yield their physical
+        compressed blocks (fully validated, see :meth:`_iter_v2_blocks`);
+        v1 traces yield ``block_events``-sized slices of the flat body.
+        ``event_size`` names the fixed record width of ``raw`` so the
+        caller can unpack without re-sniffing the version.
+        """
+        if self.version == VERSION:
+            for raw, count in self._iter_v1_blocks(block_events):
+                yield _EVENT.size, raw, count
+        else:
+            for raw, count in self._iter_v2_blocks():
+                yield _EVENT2.size, raw, count
 
     def read_all(self) -> List[ControlFlowEvent]:
         return list(self)

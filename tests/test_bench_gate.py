@@ -1,0 +1,187 @@
+"""Tests for the CI performance-regression gate (repro.bench.gate)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchGateError,
+    compare_against_baseline,
+    load_baseline,
+    load_bench_dir,
+    render_report,
+    snapshot_baseline,
+    write_baseline,
+)
+from repro.cli import main as cli_main
+
+
+def write_bench(out_dir, name, wall, rows=3, scale=0.05, seed=1):
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": 1,
+        "name": name,
+        "title": name,
+        "headers": ["a", "b"],
+        "rows": [["x", i] for i in range(rows)],
+        "wall_time_s": wall,
+        "scale": scale,
+        "seed": seed,
+    }
+    (out_dir / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+def make_run(out_dir, walls, **kwargs):
+    for name, wall in walls.items():
+        write_bench(out_dir, name, wall, **kwargs)
+
+
+def statuses(checks):
+    return {check.name: check.status for check in checks}
+
+
+class TestSnapshot:
+    def test_roundtrip_through_file(self, tmp_path):
+        make_run(tmp_path / "out", {"alpha": 1.0, "beta": 0.01})
+        payload = write_baseline(tmp_path / "out", tmp_path / "base.json",
+                                 tolerance=0.4, note="capture")
+        loaded = load_baseline(tmp_path / "base.json")
+        assert loaded == payload
+        assert loaded["tolerance"] == 0.4
+        assert loaded["source"] == {"scale": 0.05, "seed": 1}
+        assert set(loaded["benches"]) == {"alpha", "beta"}
+
+    def test_mixed_scale_rejected(self, tmp_path):
+        write_bench(tmp_path / "out", "alpha", 1.0, scale=0.05)
+        write_bench(tmp_path / "out", "beta", 1.0, scale=0.25)
+        with pytest.raises(BenchGateError, match="mixed scale/seed"):
+            snapshot_baseline(tmp_path / "out")
+
+    def test_empty_dir_rejected(self, tmp_path):
+        (tmp_path / "out").mkdir()
+        with pytest.raises(BenchGateError, match="no BENCH_"):
+            load_bench_dir(tmp_path / "out")
+
+    def test_bad_schema_rejected(self, tmp_path):
+        (tmp_path / "base.json").write_text(
+            json.dumps({"schema": 99, "benches": {"a": {}}}))
+        with pytest.raises(BenchGateError, match="schema"):
+            load_baseline(tmp_path / "base.json")
+
+
+class TestCompare:
+    def _baseline(self, tmp_path, walls=None, tolerance=0.25):
+        make_run(tmp_path / "base-run", walls or {"alpha": 1.0, "beta": 2.0})
+        return snapshot_baseline(tmp_path / "base-run", tolerance=tolerance)
+
+    def test_identical_run_passes(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        make_run(tmp_path / "out", {"alpha": 1.0, "beta": 2.0})
+        checks = compare_against_baseline(baseline, tmp_path / "out")
+        assert not any(check.failed for check in checks)
+
+    def test_two_x_slowdown_fails(self, tmp_path):
+        """The acceptance demo: an artificial 2x slowdown must trip the
+        gate even at the widened 75% CI tolerance."""
+        baseline = self._baseline(tmp_path)
+        make_run(tmp_path / "out", {"alpha": 2.0, "beta": 4.0})
+        checks = compare_against_baseline(baseline, tmp_path / "out",
+                                          tolerance=0.75)
+        assert statuses(checks) == {"alpha": "slower", "beta": "slower"}
+        assert all(check.failed for check in checks)
+        report = render_report(checks, 0.75)
+        assert "REGRESSION" in report and "2.00x" in report
+
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        make_run(tmp_path / "out", {"alpha": 1.2, "beta": 2.3})
+        checks = compare_against_baseline(baseline, tmp_path / "out")
+        assert statuses(checks) == {"alpha": "ok", "beta": "ok"}
+
+    def test_rows_change_fails_even_when_fast(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        make_run(tmp_path / "out", {"alpha": 0.5, "beta": 2.0}, rows=7)
+        checks = compare_against_baseline(baseline, tmp_path / "out")
+        assert statuses(checks)["alpha"] == "rows-changed"
+
+    def test_missing_bench_fails(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        make_run(tmp_path / "out", {"alpha": 1.0})
+        checks = compare_against_baseline(baseline, tmp_path / "out")
+        assert statuses(checks)["beta"] == "missing"
+        assert [check for check in checks if check.failed]
+
+    def test_untracked_bench_reported_not_failed(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        make_run(tmp_path / "out",
+                 {"alpha": 1.0, "beta": 2.0, "gamma": 9.0})
+        checks = compare_against_baseline(baseline, tmp_path / "out")
+        assert statuses(checks)["gamma"] == "untracked"
+        assert not any(check.failed for check in checks)
+
+    def test_faster_reported_not_failed(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        make_run(tmp_path / "out", {"alpha": 0.3, "beta": 2.0})
+        checks = compare_against_baseline(baseline, tmp_path / "out")
+        assert statuses(checks)["alpha"] == "faster"
+        assert not any(check.failed for check in checks)
+
+    def test_noise_floor_is_rows_only(self, tmp_path):
+        baseline = self._baseline(tmp_path, walls={"tiny": 0.01})
+        make_run(tmp_path / "out", {"tiny": 0.15})  # 15x but sub-floor
+        checks = compare_against_baseline(baseline, tmp_path / "out",
+                                          min_wall_s=0.2)
+        assert statuses(checks) == {"tiny": "ok"}
+
+    def test_scale_mismatch_raises(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        make_run(tmp_path / "out", {"alpha": 1.0, "beta": 2.0}, scale=0.25)
+        with pytest.raises(BenchGateError, match="scale mismatch"):
+            compare_against_baseline(baseline, tmp_path / "out")
+
+    def test_tolerance_defaults_to_baseline_value(self, tmp_path):
+        baseline = self._baseline(tmp_path, tolerance=1.5)
+        make_run(tmp_path / "out", {"alpha": 2.0, "beta": 4.0})
+        checks = compare_against_baseline(baseline, tmp_path / "out")
+        assert not any(check.failed for check in checks)
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        with pytest.raises(BenchGateError, match="tolerance"):
+            compare_against_baseline(baseline, tmp_path / "out",
+                                     tolerance=-0.1)
+
+
+class TestCli:
+    def _setup(self, tmp_path):
+        make_run(tmp_path / "out", {"alpha": 1.0, "beta": 2.0})
+        assert cli_main(["bench", "snapshot", str(tmp_path / "out"),
+                         str(tmp_path / "base.json")]) == 0
+        return tmp_path / "base.json", tmp_path / "out"
+
+    def test_compare_passes_on_own_snapshot(self, tmp_path, capsys):
+        base, out = self._setup(tmp_path)
+        assert cli_main(["bench", "compare", str(base), str(out)]) == 0
+        assert "all benches within tolerance" in capsys.readouterr().out
+
+    def test_compare_fails_on_slowdown(self, tmp_path, capsys):
+        base, out = self._setup(tmp_path)
+        make_run(out, {"alpha": 2.0, "beta": 4.0})
+        assert cli_main(["bench", "compare", str(base), str(out),
+                         "--tolerance", "0.75"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        base, out = self._setup(tmp_path)
+        report = tmp_path / "report.json"
+        assert cli_main(["bench", "compare", str(base), str(out),
+                         "--json", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert {entry["name"] for entry in payload["checks"]} == \
+            {"alpha", "beta"}
+        assert payload["failed"] is False
+
+    def test_compare_missing_baseline_is_error_exit(self, tmp_path, capsys):
+        assert cli_main(["bench", "compare", str(tmp_path / "nope.json"),
+                         str(tmp_path)]) == 1
+        assert "repro-sim bench" in capsys.readouterr().err
