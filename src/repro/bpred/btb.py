@@ -41,6 +41,13 @@ class BranchTargetBuffer:
         """
         self._lookups.increment()
         ways = self._ways[self._set_index(pc)]
+        if ways:
+            tag, target = ways[-1]
+            if tag == pc:
+                # MRU hit: loops and repeated returns re-probe the same
+                # entry; skip the scan-and-rotate (a no-op for the MRU).
+                self._hits.increment()
+                return target
         for position, (tag, target) in enumerate(ways):
             if tag == pc:
                 if position != len(ways) - 1:

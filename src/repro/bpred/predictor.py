@@ -39,6 +39,12 @@ _CHECKPOINTED = frozenset({
     ControlClass.RETURN,
 })
 
+#: Hot-path class groupings, hoisted so ``predict`` avoids building
+#: tuples (and walking the ``is_call`` property chain) per prediction.
+_DIRECT = frozenset({ControlClass.JUMP_DIRECT, ControlClass.CALL_DIRECT})
+_INDIRECT = frozenset({ControlClass.JUMP_INDIRECT, ControlClass.CALL_INDIRECT})
+_CALLS = frozenset({ControlClass.CALL_DIRECT, ControlClass.CALL_INDIRECT})
+
 
 class Prediction:
     """Everything the pipeline must remember about one prediction."""
@@ -144,9 +150,9 @@ class FrontEndPredictor:
                     taken = False
                 else:
                     target = predicted
-        elif control in (ControlClass.JUMP_DIRECT, ControlClass.CALL_DIRECT):
+        elif control in _DIRECT:
             target = inst.target if inst.target is not None else fallthrough
-        elif control in (ControlClass.JUMP_INDIRECT, ControlClass.CALL_INDIRECT):
+        elif control in _INDIRECT:
             predicted = self.btb.lookup(pc)
             from_btb = True
             target = predicted if predicted is not None else fallthrough
@@ -166,7 +172,7 @@ class FrontEndPredictor:
                 from_btb = True
                 target = predicted if predicted is not None else fallthrough
 
-        if control.is_call and ras is not None:
+        if control in _CALLS and ras is not None:
             ras.push(fallthrough)
 
         checkpoint = None
@@ -219,7 +225,7 @@ class FrontEndPredictor:
                 if record_outcome is not None:
                     record_outcome(correct)
             self.btb.update(pc, target, taken)
-        elif control in (ControlClass.JUMP_INDIRECT, ControlClass.CALL_INDIRECT):
+        elif control in _INDIRECT:
             self.btb.update(pc, target, True)
             if prediction is not None:
                 self._indirect_accuracy.record(prediction.target == target)

@@ -7,7 +7,7 @@ exactly SimpleScalar's split between its cache module and its emulator.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.config.machine import CacheConfig
 from repro.stats import StatGroup
@@ -18,7 +18,12 @@ class Cache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        # Sets materialise on first touch: a large L2 has tens of
+        # thousands of sets, and eagerly allocating one list per set
+        # costs milliseconds per simulator construction — comparable to
+        # an entire fast-engine run on a small workload. Touched sets
+        # behave identically to the previous dense list-of-lists.
+        self._sets: Dict[int, List[int]] = {}
         self._line_shift = config.line_bytes.bit_length() - 1
         self._set_mask = config.num_sets - 1
         self.stats = StatGroup(config.name)
@@ -32,13 +37,21 @@ class Cache:
         a simple blocking-fill model; latency accounting lives in
         :class:`~repro.caches.hierarchy.MemoryHierarchy`.
         """
-        self._accesses.increment()
+        self._accesses.value += 1  # inlined Counter.increment (hot path)
         line = address >> self._line_shift
-        ways = self._sets[line & self._set_mask]
+        index = line & self._set_mask
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = self._sets[index] = []
+        elif ways[-1] == line:
+            # MRU hit: sequential fetch re-touches the same line many
+            # times in a row, so skip the LRU scan-and-rotate (which
+            # would be a no-op anyway).
+            return True
         try:
             position = ways.index(line)
         except ValueError:
-            self._misses.increment()
+            self._misses.value += 1
             if len(ways) >= self.config.assoc:
                 ways.pop(0)
             ways.append(line)
@@ -50,7 +63,7 @@ class Cache:
     def probe(self, address: int) -> bool:
         """Check presence without updating LRU or filling (tests only)."""
         line = address >> self._line_shift
-        return line in self._sets[line & self._set_mask]
+        return line in self._sets.get(line & self._set_mask, ())
 
     @property
     def miss_rate(self) -> float:

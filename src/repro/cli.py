@@ -8,6 +8,8 @@ Examples:
     repro-sim speedup --no-cache --json f2.json
     repro-sim run --benchmark li --mechanism tos-pointer-contents
     repro-sim run --benchmark go --paths 4 --stacks per-path
+    repro-sim run --benchmark go --engine fast  # columnar cycle engine
+    repro-sim parity --names li vortex          # fast vs reference, all cells
     repro-sim corpus build traces/ --names li vortex --scale 0.25
     repro-sim corpus import traces/ champsim.trace.xz --name srv0
     repro-sim corpus replay traces/ --jobs 4 --sizes 1 4 16 64
@@ -128,6 +130,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help=">1 selects the multipath model")
     p.add_argument("--stacks", default="per-path",
                    choices=[o.value for o in StackOrganization])
+    p.add_argument("--engine", default="reference",
+                   choices=["reference", "fast"],
+                   help="'fast' selects the columnar work-list twin "
+                        "(bit-identical counters; see docs/engines.md)")
 
     p = sub.add_parser("disasm", help="disassemble a generated benchmark")
     common(p)
@@ -247,6 +253,20 @@ def _build_parser() -> argparse.ArgumentParser:
     b.add_argument("--note", default="",
                    help="free-form provenance note to record")
 
+    p = sub.add_parser("parity",
+                       help="prove fast-engine counters bit-identical to "
+                            "the reference engines (docs/engines.md)")
+    common(p)
+    p.add_argument("--backend", default=None, choices=["python", "numpy"],
+                   help="force the columnar array backend for the sweep "
+                        "(default: $REPRO_CYCLE_BACKEND resolution)")
+    p.add_argument("--ras-entries", nargs="+", type=int, default=[8, 32],
+                   help="RAS sizes for the single-path cells")
+    p.add_argument("--paths", nargs="+", type=int, default=[2],
+                   help="path budgets for the multipath cells")
+    p.add_argument("--no-multipath", action="store_true",
+                   help="skip the multipath cells")
+
     p = sub.add_parser("report",
                        help="regenerate every table/figure in one pass")
     common(p)
@@ -267,20 +287,47 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.paths > 1:
         config = multipath_machine(
             args.paths, StackOrganization(args.stacks))
-        result, _ = run_multipath(program, config)
+        if args.engine == "fast":
+            from repro.fastsim.multipath import run_multipath_fast
+            result, _ = run_multipath_fast(program, config)
+        else:
+            result, _ = run_multipath(program, config)
     else:
         config = baseline_config()
         config = config.with_repair(RepairMechanism(args.mechanism))
         config = config.with_ras_entries(args.ras_entries)
         if args.no_ras:
             config = config.without_ras()
-        result, _ = run_cycle(program, config)
+        if args.engine == "fast":
+            from repro.fastsim.cycle import run_cycle_fast
+            result, _ = run_cycle_fast(program, config)
+        else:
+            result, _ = run_cycle(program, config)
     summary = result.as_dict()
     rows = [[key, value] for key, value in summary.items()]
     print(format_table(["stat", "value"], rows,
                        title=f"{args.benchmark} (seed={args.seed}, "
                              f"scale={args.scale})"))
     return 0
+
+
+def _parity_command(args: argparse.Namespace) -> int:
+    from repro.fastsim.parity import parity_sweep
+
+    reports = parity_sweep(
+        args.names, seed=args.seed, scale=args.scale,
+        ras_entries=tuple(args.ras_entries), paths=tuple(args.paths),
+        backend=args.backend, include_multipath=not args.no_multipath)
+    rows = [[r.label, len(r.reference), "ok" if r.matches
+             else f"{len(r.mismatches)} DIVERGING"] for r in reports]
+    print(format_table(["cell", "stats compared", "verdict"], rows,
+                       title=f"Differential parity (seed={args.seed}, "
+                             f"scale={args.scale})"))
+    failed = [r for r in reports if not r.matches]
+    for report in failed:
+        for mismatch in report.mismatches:
+            print(f"  {report.label}: {mismatch}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _corpus_command(args: argparse.Namespace) -> int:
@@ -619,6 +666,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "run":
         return _run_command(args)
+    if args.command == "parity":
+        return _parity_command(args)
     if args.command == "disasm":
         program = build_workload(args.benchmark, seed=args.seed,
                                  scale=args.scale)

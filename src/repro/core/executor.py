@@ -70,12 +70,15 @@ from repro.telemetry import MetricsRegistry, RunLedger, span
 from repro.telemetry import state as telemetry_state
 from repro.trace.replay import TraceShardSpec, replay_shard
 
-#: Engines a job may name: the three simulator families plus the two
-#: trace-shard replay paths (capacity sweeps over recorded control
-#: flow): ``"trace"`` streams one event at a time, ``"batch"`` decodes
-#: block-at-a-time into flat arrays (bit-identical counters, several
-#: times the throughput; see docs/performance.md).
-ENGINES = ("cycle", "fast", "multipath", "trace", "batch")
+#: Engines a job may name: the three simulator families, their
+#: columnar fast twins, and the two trace-shard replay paths (capacity
+#: sweeps over recorded control flow): ``"trace"`` streams one event at
+#: a time, ``"batch"`` decodes block-at-a-time into flat arrays;
+#: ``"cycle-fast"`` / ``"multipath-fast"`` are the work-list rewrites
+#: of the execution-driven CPUs (bit-identical counters, several times
+#: the throughput; see docs/engines.md and docs/performance.md).
+ENGINES = ("cycle", "cycle-fast", "fast", "multipath", "multipath-fast",
+           "trace", "batch")
 
 #: The engines that replay recorded trace shards (their jobs carry a
 #: TraceShardSpec instead of a workload).
@@ -367,9 +370,24 @@ def _dispatch_job(job: ExperimentJob) -> JobResult:
         stats["rates"]["btb_hit_rate"] = cpu.frontend.btb.hit_rate
         return JobResult(engine=job.engine, instructions=result.instructions,
                          cycles=result.cycles, ipc=result.ipc, **stats)
+    if job.engine == "cycle-fast":
+        from repro.fastsim.cycle import run_cycle_fast
+        result, cpu = run_cycle_fast(program, job.config,
+                                     max_instructions=job.max_instructions)
+        stats = _group_stats(result.group)
+        stats["rates"]["btb_hit_rate"] = cpu.frontend.btb.hit_rate
+        return JobResult(engine=job.engine, instructions=result.instructions,
+                         cycles=result.cycles, ipc=result.ipc, **stats)
     if job.engine == "multipath":
         result, _ = run_multipath(program, job.config,
                                   max_instructions=job.max_instructions)
+        stats = _group_stats(result.group)
+        return JobResult(engine=job.engine, instructions=result.instructions,
+                         cycles=result.cycles, ipc=result.ipc, **stats)
+    if job.engine == "multipath-fast":
+        from repro.fastsim.multipath import run_multipath_fast
+        result, _ = run_multipath_fast(program, job.config,
+                                       max_instructions=job.max_instructions)
         stats = _group_stats(result.group)
         return JobResult(engine=job.engine, instructions=result.instructions,
                          cycles=result.cycles, ipc=result.ipc, **stats)

@@ -71,7 +71,18 @@ def run_cycle(
     config: Optional[MachineConfig] = None,
     max_instructions: Optional[int] = None,
 ) -> Tuple[SimResult, SinglePathCPU]:
-    """Run the cycle-level single-path model; returns (result, cpu)."""
+    """Run the reference single-path cycle model; returns (result, cpu).
+
+    This is the ``"cycle"`` executor engine: the execution-driven
+    out-of-order pipeline with real wrong-path execution
+    (docs/architecture.md §3). The live ``cpu`` comes back alongside
+    the result for callers that want post-run structures (BTB hit
+    rate, pipeline timelines); sweep code should go through
+    :class:`~repro.core.executor.SweepExecutor` instead, which caches
+    and parallelises. :func:`repro.fastsim.cycle.run_cycle_fast` is
+    the bit-identical columnar twin (``"cycle-fast"``, ~3x faster —
+    see docs/engines.md).
+    """
     cpu = SinglePathCPU(program, config, max_instructions=max_instructions)
     return cpu.run(), cpu
 
@@ -81,7 +92,16 @@ def run_multipath(
     config: MachineConfig,
     max_instructions: Optional[int] = None,
 ) -> Tuple[SimResult, MultipathCPU]:
-    """Run the cycle-level multipath model; returns (result, cpu)."""
+    """Run the reference multipath cycle model; returns (result, cpu).
+
+    The ``"multipath"`` executor engine: forking path contexts with
+    per-path / unified / checkpointed stacks — the machinery behind
+    the paper's §5 result (docs/architecture.md §4). ``config`` is
+    required because multipath only makes sense with a path budget;
+    build one with :func:`multipath_machine`.
+    :func:`repro.fastsim.multipath.run_multipath_fast` is the
+    bit-identical work-list twin (``"multipath-fast"``).
+    """
     cpu = MultipathCPU(program, config, max_instructions=max_instructions)
     return cpu.run(), cpu
 
@@ -91,7 +111,14 @@ def run_fast(
     config: Optional[MachineConfig] = None,
     **kwargs,
 ) -> FastSimResult:
-    """Run the fast front-end model."""
+    """Run the prediction-only front-end model (the ``"fast"`` engine).
+
+    Unlike the fast *cycle* engines, this is a different, cheaper
+    model — predictor state in program order plus a bounded wrong-path
+    walk, with a first-order cycle estimate (docs/architecture.md §5).
+    Use it for hit-rate trends over large grids, not for IPC claims;
+    it carries no bit-parity contract against the cycle models.
+    """
     predictor = (config or MachineConfig()).predictor
     return FastFrontEndSim(program, predictor, **kwargs).run()
 

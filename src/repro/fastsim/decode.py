@@ -1,0 +1,338 @@
+"""Per-program static decode tables for the fast cycle-level engines.
+
+The reference pipelines (:mod:`repro.pipeline`, :mod:`repro.multipath`)
+re-derive per-instruction facts on every dispatch: ``source_regs`` and
+``dest_reg`` rebuild operand tuples, ``exec_latency`` probes a dict, and
+:func:`repro.emu.exec_core.execute` walks a ~30-arm ``if`` chain to find
+the opcode's semantics. All of that is a pure function of the *static*
+instruction, so the fast engines hoist it out of the per-cycle loop:
+one :class:`DecodeTable` per :class:`~repro.isa.program.Program` holds
+flat, index-parallel columns (``is_control``, ``dest``, sources,
+latency, ...) plus two precomputed **function tables** — one closure
+per static instruction that performs the instruction's architectural
+effect with the operand fields already bound. Executing instruction
+``i`` is then a single indexed call, with no decode work left inside
+the engine's inner loop.
+
+Two closure families exist because the two pipeline models speculate
+differently:
+
+* :attr:`DecodeTable.exec_fns` — single-path semantics: register and
+  memory writes apply immediately against a flat register list and a
+  sparse memory dict, logging undo records *bit-identical* to
+  :meth:`repro.emu.machine_state.MachineState.write_reg` /
+  ``write_mem`` so recovery rewinds restore exactly the same state.
+* :attr:`DecodeTable.exec_fns_mp` — multipath semantics: register
+  writes log undo records against the path's private register file,
+  loads read through a caller-supplied forwarding function, and stores
+  *capture* their value for commit-time application instead of writing
+  memory (mirroring ``repro.multipath.cpu._PathState``).
+
+Tables are memoised per ``Program`` object (programs are immutable and
+shared via the workload build cache), so a sweep of many configs over
+one workload decodes once.
+
+Parity note: every closure replicates one arm of
+:func:`repro.emu.exec_core.execute` exactly — same masking, same
+signedness, same undo record layout. The differential harness in
+:mod:`repro.fastsim.parity` holds that line.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.emu.machine_state import MASK64, SIGN_BIT
+from repro.isa.opcodes import ControlClass, Opcode, REG_RA, WORD_SIZE
+from repro.isa.program import Program
+from repro.pipeline.inflight import dest_reg, exec_latency, source_regs
+
+#: Single-path exec closure: ``f(regs, memory, undo)`` applies the
+#: instruction and returns ``(next_pc, taken, mem_address)``.
+ExecFn = Callable[[List[int], Dict[int, int], list], Tuple[int, bool, Optional[int]]]
+
+#: Multipath exec closure: ``f(regs, load_fn, undo)`` returns
+#: ``(next_pc, taken, mem_address, store_value)``; stores are captured,
+#: never applied (the multipath LSQ buffers them until commit).
+ExecFnMp = Callable[
+    [List[int], Callable[[int], int], list],
+    Tuple[int, bool, Optional[int], Optional[int]],
+]
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+# ----------------------------------------------------------------------
+# Single-path closure builders (immediate register/memory writes with
+# MachineState-identical undo records).
+
+def _build_exec(inst, pc: int) -> ExecFn:
+    op = inst.opcode
+    ft = pc + WORD_SIZE
+    rd, rs, rt, imm, target = inst.rd, inst.rs, inst.rt, inst.imm, inst.target
+
+    # Each closure below inlines write_reg semantics (r0 hard-wired,
+    # undo logs the old value) rather than calling a helper: one call
+    # frame per executed instruction is measurable at engine scale.
+    if op is Opcode.ADDI:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] + imm) & MASK64
+            return ft, False, None
+    elif op is Opcode.LI:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = imm & MASK64
+            return ft, False, None
+    elif op is Opcode.ANDI:
+        masked = imm & MASK64
+
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] & masked) & MASK64
+            return ft, False, None
+    elif op is Opcode.XORI:
+        masked = imm & MASK64
+
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] ^ masked) & MASK64
+            return ft, False, None
+    elif op is Opcode.SLLI:
+        shift = imm & 63
+
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] << shift) & MASK64
+            return ft, False, None
+    elif op is Opcode.SRLI:
+        shift = imm & 63
+
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] >> shift) & MASK64
+            return ft, False, None
+    elif op is Opcode.ADD:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] + regs[rt]) & MASK64
+            return ft, False, None
+    elif op is Opcode.SUB:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] - regs[rt]) & MASK64
+            return ft, False, None
+    elif op is Opcode.AND:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] & regs[rt]) & MASK64
+            return ft, False, None
+    elif op is Opcode.OR:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] | regs[rt]) & MASK64
+            return ft, False, None
+    elif op is Opcode.XOR:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] ^ regs[rt]) & MASK64
+            return ft, False, None
+    elif op is Opcode.SLL:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] << (regs[rt] & 63)) & MASK64
+            return ft, False, None
+    elif op is Opcode.SRL:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] >> (regs[rt] & 63)) & MASK64
+            return ft, False, None
+    elif op is Opcode.SLT:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = 1 if _signed(regs[rs]) < _signed(regs[rt]) else 0
+            return ft, False, None
+    elif op is Opcode.MUL:
+        def fn(regs, mem, undo):
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (regs[rs] * regs[rt]) & MASK64
+            return ft, False, None
+    elif op is Opcode.LOAD:
+        def fn(regs, mem, undo):
+            address = (regs[rs] + imm) & MASK64
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = (mem.get(address, 0)) & MASK64
+            return ft, False, address
+    elif op is Opcode.STORE:
+        def fn(regs, mem, undo):
+            address = (regs[rs] + imm) & MASK64
+            existed = address in mem
+            undo.append(("m", address, mem[address] if existed else 0, existed))
+            mem[address] = regs[rt] & MASK64
+            return ft, False, address
+    elif op is Opcode.BEQZ:
+        def fn(regs, mem, undo):
+            taken = regs[rs] == 0
+            return (target if taken else ft), taken, None
+    elif op is Opcode.BNEZ:
+        def fn(regs, mem, undo):
+            taken = regs[rs] != 0
+            return (target if taken else ft), taken, None
+    elif op is Opcode.BLTZ:
+        def fn(regs, mem, undo):
+            taken = _signed(regs[rs]) < 0
+            return (target if taken else ft), taken, None
+    elif op is Opcode.BGEZ:
+        def fn(regs, mem, undo):
+            taken = _signed(regs[rs]) >= 0
+            return (target if taken else ft), taken, None
+    elif op is Opcode.J:
+        def fn(regs, mem, undo):
+            return target, True, None
+    elif op is Opcode.JAL:
+        def fn(regs, mem, undo):
+            undo.append(("r", REG_RA, regs[REG_RA]))
+            regs[REG_RA] = ft & MASK64
+            return target, True, None
+    elif op is Opcode.JR:
+        def fn(regs, mem, undo):
+            return regs[rs], True, None
+    elif op is Opcode.JALR:
+        def fn(regs, mem, undo):
+            computed = regs[rs]
+            undo.append(("r", REG_RA, regs[REG_RA]))
+            regs[REG_RA] = ft & MASK64
+            return computed, True, None
+    elif op is Opcode.RET:
+        def fn(regs, mem, undo):
+            return regs[REG_RA], True, None
+    else:  # NOP / HALT: no architectural effect beyond the PC
+        def fn(regs, mem, undo):
+            return ft, False, None
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Multipath closure builders (stores captured, loads forwarded).
+
+def _build_exec_mp(inst, pc: int) -> ExecFnMp:
+    op = inst.opcode
+    ft = pc + WORD_SIZE
+    rd, rs, rt, imm, target = inst.rd, inst.rs, inst.rt, inst.imm, inst.target
+
+    if op is Opcode.LOAD:
+        def fn(regs, load, undo):
+            address = (regs[rs] + imm) & MASK64
+            if rd:
+                undo.append(("r", rd, regs[rd]))
+                regs[rd] = load(address) & MASK64
+            return ft, False, address, None
+        return fn
+    if op is Opcode.STORE:
+        def fn(regs, load, undo):
+            address = (regs[rs] + imm) & MASK64
+            return ft, False, address, regs[rt] & MASK64
+        return fn
+    # Every other opcode touches registers only, so the single-path
+    # closure applies verbatim; adapt its signature.
+    base = _build_exec(inst, pc)
+
+    def fn(regs, load, undo, _base=base):
+        next_pc, taken, _ = _base(regs, None, undo)
+        return next_pc, taken, None, None
+    return fn
+
+
+# ----------------------------------------------------------------------
+# The table.
+
+class DecodeTable:
+    """Index-parallel static columns + function tables for one program.
+
+    Column ``i`` describes the instruction at byte address
+    ``i * WORD_SIZE``. Numeric columns use ``-1`` for "absent".
+    """
+
+    __slots__ = (
+        "program", "size", "text_limit",
+        "is_control", "control", "is_call", "is_memory", "is_load",
+        "is_store", "is_mul", "is_halt", "dest", "src1", "src2",
+        "latency", "exec_fns", "exec_fns_mp",
+    )
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        text = program.text
+        n = len(text)
+        self.size = n
+        self.text_limit = n * WORD_SIZE
+        self.is_control: List[bool] = [False] * n
+        self.control: List[ControlClass] = [ControlClass.NOT_CONTROL] * n
+        self.is_call: List[bool] = [False] * n
+        self.is_memory: List[bool] = [False] * n
+        self.is_load: List[bool] = [False] * n
+        self.is_store: List[bool] = [False] * n
+        self.is_mul: List[bool] = [False] * n
+        self.is_halt: List[bool] = [False] * n
+        self.dest: List[int] = [-1] * n
+        self.src1: List[int] = [-1] * n
+        self.src2: List[int] = [-1] * n
+        self.latency: List[int] = [1] * n
+        self.exec_fns: List[ExecFn] = [None] * n  # type: ignore[list-item]
+        self.exec_fns_mp: List[ExecFnMp] = [None] * n  # type: ignore[list-item]
+        for i, inst in enumerate(text):
+            pc = i * WORD_SIZE
+            control = inst.control
+            self.control[i] = control
+            self.is_control[i] = control is not ControlClass.NOT_CONTROL
+            self.is_call[i] = control.is_call
+            self.is_load[i] = inst.opcode is Opcode.LOAD
+            self.is_store[i] = inst.opcode is Opcode.STORE
+            self.is_memory[i] = self.is_load[i] or self.is_store[i]
+            self.is_mul[i] = inst.opcode is Opcode.MUL
+            self.is_halt[i] = inst.opcode is Opcode.HALT
+            dest = dest_reg(inst)
+            self.dest[i] = -1 if dest is None else dest
+            sources = source_regs(inst)
+            if sources:
+                self.src1[i] = sources[0]
+                if len(sources) > 1:
+                    self.src2[i] = sources[1]
+            self.latency[i] = exec_latency(inst)
+            self.exec_fns[i] = _build_exec(inst, pc)
+            self.exec_fns_mp[i] = _build_exec_mp(inst, pc)
+
+
+#: Program -> DecodeTable memo. Keyed on object identity (programs are
+#: immutable and memoised by the workload build cache) and weak so a
+#: dropped program frees its table.
+_TABLES: "weakref.WeakKeyDictionary[Program, DecodeTable]" = (
+    weakref.WeakKeyDictionary())
+
+
+def decode_table(program: Program) -> DecodeTable:
+    """The (memoised) static decode table for ``program``."""
+    table = _TABLES.get(program)
+    if table is None:
+        table = DecodeTable(program)
+        _TABLES[program] = table
+    return table

@@ -92,7 +92,18 @@ class _FetchedInstruction:
 
 
 class MultipathCPU:
-    """Cycle-level multipath simulation (2-path, 4-path, ...)."""
+    """Cycle-level multipath simulation (2-path, 4-path, ...).
+
+    The *reference* multipath engine: path contexts fork at
+    low-confidence branches, stacks follow the configured
+    :class:`~repro.config.options.StackOrganization`, and resolution
+    selectively squashes subtrees (docs/architecture.md §4). Like
+    :class:`~repro.pipeline.cpu.SinglePathCPU` it is written
+    stage-by-stage for readability; the work-list twin
+    :class:`repro.fastsim.multipath.FastMultipathCPU` carries a
+    bit-identical-counters contract against it, held by
+    :mod:`repro.fastsim.parity`.
+    """
 
     def __init__(
         self,

@@ -58,7 +58,17 @@ class _FetchedInstruction:
 
 
 class SinglePathCPU:
-    """Cycle-level simulation of one program on the Table 1 machine."""
+    """Cycle-level simulation of one program on the Table 1 machine.
+
+    The *reference* single-path engine: stages run back-to-front each
+    cycle as readable methods, in-flight instructions are objects, and
+    wrong paths execute for real under undo logs
+    (docs/architecture.md §3). Written for clarity over speed — the
+    columnar twin :class:`repro.fastsim.cycle.ColumnarCycleCPU` must
+    stay bit-identical to this machine (enforced by
+    :mod:`repro.fastsim.parity`), so behavioural changes belong here
+    first, mirrored there, never in the twin alone.
+    """
 
     def __init__(
         self,
