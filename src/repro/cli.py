@@ -14,6 +14,9 @@ Examples:
     repro-sim corpus import traces/ champsim.trace.xz --name srv0
     repro-sim corpus replay traces/ --jobs 4 --sizes 1 4 16 64
     repro-sim corpus replay traces/ --engine batch      # fast replay
+    repro-sim cluster coordinator --bind 127.0.0.1:8736
+    repro-sim cluster worker --coordinator http://127.0.0.1:8736
+    repro-sim stack-depth --backend cluster     # sweep through the fleet
     repro-sim runs list
     repro-sim runs compare -2 -1
     repro-sim bench compare benchmarks/baselines/smoke.json benchmarks/out
@@ -31,7 +34,13 @@ from repro import telemetry
 from repro.config.defaults import baseline_config
 from repro.config.options import RepairMechanism, StackOrganization
 from repro.core import tables as table_builders
-from repro.core.executor import ResultCache, SweepExecutor, default_jobs
+from repro.core.executor import (
+    BACKENDS,
+    ResultCache,
+    SweepExecutor,
+    default_backend,
+    default_jobs,
+)
 from repro.core.experiment import (
     WorkloadSpec,
     default_scale,
@@ -87,6 +96,12 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=default_jobs(),
                        help="worker processes for independent simulations "
                             "(default: $REPRO_JOBS or 1)")
+        p.add_argument("--backend", default=default_backend(),
+                       choices=list(BACKENDS),
+                       help="where cache misses execute: 'local' process "
+                            "pool or 'cluster' remote workers via "
+                            "$REPRO_COORDINATOR (default: $REPRO_BACKEND "
+                            "or local; see docs/distributed.md)")
         p.add_argument("--no-cache", action="store_true",
                        help="ignore and don't update the on-disk result "
                             "cache (see docs/performance.md)")
@@ -184,6 +199,10 @@ def _build_parser() -> argparse.ArgumentParser:
     c.add_argument("--shards", nargs="*", default=None,
                    help="restrict to these shard names")
     c.add_argument("--jobs", type=int, default=default_jobs())
+    c.add_argument("--backend", default=default_backend(),
+                   choices=list(BACKENDS),
+                   help="execution backend for the replay sweep "
+                        "(see docs/distributed.md)")
     c.add_argument("--no-cache", action="store_true",
                    help="ignore and don't update the on-disk result cache")
     c.add_argument("--no-telemetry", action="store_true",
@@ -221,6 +240,51 @@ def _build_parser() -> argparse.ArgumentParser:
     r.add_argument("--json", metavar="OUT", default=None,
                    help="also write the full diff as JSON to OUT")
 
+    p = sub.add_parser("cluster",
+                       help="distributed sweep fleet: coordinator, "
+                            "workers, status (docs/distributed.md)")
+    clsub = p.add_subparsers(dest="cluster_command", required=True)
+
+    c = clsub.add_parser("coordinator",
+                         help="run a standalone coordinator (blocks; "
+                              "^C or POST /api/shutdown to stop)")
+    c.add_argument("--bind", default="127.0.0.1:8736",
+                   help="host:port to listen on (port 0 = ephemeral)")
+    c.add_argument("--lease-timeout", type=float, default=None,
+                   help="seconds before an unheartbeated lease is "
+                        "stolen (default 30)")
+    c.add_argument("--no-cache", action="store_true",
+                   help="serve without the shared result cache")
+
+    c = clsub.add_parser("worker",
+                         help="lease and execute jobs until the "
+                              "coordinator drains")
+    c.add_argument("--coordinator", required=True,
+                   help="coordinator URL, e.g. http://127.0.0.1:8736")
+    c.add_argument("--name", default=None,
+                   help="worker name for ledger attribution "
+                        "(default: host-pid)")
+    c.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after completing this many jobs")
+    c.add_argument("--no-cache", action="store_true",
+                   help="always execute; skip the shared result cache")
+
+    c = clsub.add_parser("status",
+                         help="one-line fleet summary + per-worker table")
+    c.add_argument("--coordinator", required=True)
+    c.add_argument("--json", metavar="OUT", default=None,
+                   help="also write the raw status payload to OUT")
+
+    c = clsub.add_parser("submit",
+                         help="run the stack-depth sweep through an "
+                              "external coordinator")
+    common(c)
+    c.add_argument("--coordinator", required=True)
+    c.add_argument("--sizes", nargs="+", type=int,
+                   default=[1, 2, 4, 8, 12, 16, 32, 64])
+    c.add_argument("--mechanism", default="tos-pointer-contents",
+                   choices=[m.value for m in RepairMechanism])
+
     p = sub.add_parser("bench",
                        help="benchmark baselines and the CI regression "
                             "gate (docs/performance.md)")
@@ -257,7 +321,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="prove fast-engine counters bit-identical to "
                             "the reference engines (docs/engines.md)")
     common(p)
-    p.add_argument("--backend", default=None, choices=["python", "numpy"],
+    p.add_argument("--array-backend", default=None,
+                   choices=["python", "numpy"],
                    help="force the columnar array backend for the sweep "
                         "(default: $REPRO_CYCLE_BACKEND resolution)")
     p.add_argument("--ras-entries", nargs="+", type=int, default=[8, 32],
@@ -317,7 +382,7 @@ def _parity_command(args: argparse.Namespace) -> int:
     reports = parity_sweep(
         args.names, seed=args.seed, scale=args.scale,
         ras_entries=tuple(args.ras_entries), paths=tuple(args.paths),
-        backend=args.backend, include_multipath=not args.no_multipath)
+        backend=args.array_backend, include_multipath=not args.no_multipath)
     rows = [[r.label, len(r.reference), "ok" if r.matches
              else f"{len(r.mismatches)} DIVERGING"] for r in reports]
     print(format_table(["cell", "stats compared", "verdict"], rows,
@@ -371,9 +436,7 @@ def _corpus_command(args: argparse.Namespace) -> int:
                   f"{len(store.manifest)} shards verified")
             return 0
         # replay
-        executor = SweepExecutor(
-            jobs=args.jobs,
-            cache=None if args.no_cache else ResultCache.default())
+        executor = _make_executor(args)
         title, headers, rows = corpus_depth_sweep(
             store, sizes=args.sizes,
             mechanism=RepairMechanism(args.mechanism),
@@ -390,7 +453,8 @@ def _corpus_command(args: argparse.Namespace) -> int:
 
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:
     cache = None if getattr(args, "no_cache", False) else ResultCache.default()
-    return SweepExecutor(jobs=getattr(args, "jobs", None), cache=cache)
+    return SweepExecutor(jobs=getattr(args, "jobs", None), cache=cache,
+                         backend=getattr(args, "backend", None))
 
 
 def _print_sweep_summary(executor: Optional[SweepExecutor]) -> None:
@@ -486,6 +550,91 @@ def _bench_command(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cluster_command(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    try:
+        if args.cluster_command == "coordinator":
+            from repro.cluster import DEFAULT_LEASE_TIMEOUT_S, Coordinator
+            lease = (DEFAULT_LEASE_TIMEOUT_S if args.lease_timeout is None
+                     else args.lease_timeout)
+            coordinator = Coordinator(
+                bind=args.bind,
+                cache=None if args.no_cache else ResultCache.default(),
+                lease_timeout_s=lease)
+            print(f"coordinator listening at {coordinator.url} "
+                  f"(lease timeout {lease:g}s)", file=sys.stderr)
+            try:
+                coordinator.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            return 0
+        if args.cluster_command == "worker":
+            from repro.cluster import run_worker
+            stats = run_worker(
+                args.coordinator, name=args.name,
+                cache=None if args.no_cache else "default",
+                max_jobs=args.max_jobs)
+            print("worker done: " + ", ".join(
+                f"{name}={value}"
+                for name, value in sorted(stats.items())), file=sys.stderr)
+            return 0
+        if args.cluster_command == "status":
+            from repro.cluster import ClusterClient
+            status = ClusterClient(args.coordinator).status()
+            rows = [[name, value] for name, value
+                    in sorted((status.get("counts") or {}).items())]
+            rows += [["queue depth", status.get("queue_depth")],
+                     ["active leases", status.get("active_leases")],
+                     ["workers alive", status.get("workers_alive")],
+                     ["draining", status.get("draining")]]
+            print(format_table(["stat", "value"], rows,
+                               title=f"Coordinator {status.get('url')}"))
+            _print_fleet_table(status.get("workers") or {})
+            if args.json:
+                try:
+                    with open(args.json, "w") as handle:
+                        json.dump(status, handle, indent=2, default=str)
+                        handle.write("\n")
+                except OSError as error:
+                    print(f"repro-sim: cannot write --json {args.json}: "
+                          f"{error}", file=sys.stderr)
+                    return 1
+                print(f"json written to {args.json}", file=sys.stderr)
+            return 0
+        # submit: the stack-depth sweep through an external coordinator
+        executor = SweepExecutor(
+            jobs=args.jobs,
+            cache=None if args.no_cache else ResultCache.default(),
+            backend="cluster", coordinator_url=args.coordinator)
+        title, headers, rows = table_builders.fig_stack_depth(
+            names=args.names, sizes=args.sizes,
+            mechanism=RepairMechanism(args.mechanism),
+            seed=args.seed, scale=args.scale, executor=executor)
+        print(format_table(headers, rows, title=title))
+        _print_sweep_summary(executor)
+        if args.json:
+            return _write_json(args, title, headers, rows, executor)
+        return 0
+    except ReproError as error:
+        print(f"repro-sim cluster: {error}", file=sys.stderr)
+        return 1
+
+
+def _print_fleet_table(workers: dict) -> None:
+    """Per-worker attribution table (cluster status / runs show)."""
+    if not workers:
+        return
+    rows = [[name,
+             info.get("jobs"),
+             info.get("leases"),
+             info.get("failures"),
+             round(float(info.get("wall_time_s") or 0.0), 3)]
+            for name, info in sorted(workers.items())]
+    print(format_table(["worker", "jobs", "leases", "failures", "wall s"],
+                       rows, title="Fleet utilisation"))
+
+
 def _runs_command(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.telemetry import RunLedger, compare_entries
@@ -527,8 +676,8 @@ def _runs_command(args: argparse.Namespace) -> int:
             integrity = "ok" if ledger.verify(entry) else "MISMATCH"
             rows = []
             for key in sorted(entry):
-                if key == "metrics":
-                    continue
+                if key in ("metrics", "cluster"):
+                    continue  # each gets its own table below
                 value = entry[key]
                 if key == "configs":
                     value = ",".join(str(f)[:12] for f in value)
@@ -547,6 +696,17 @@ def _runs_command(args: argparse.Namespace) -> int:
                     ["metric", "value"],
                     [[name, value] for name, value in metrics.items()],
                     title="Metrics (counters)"))
+            cluster = entry.get("cluster") or {}
+            if cluster:
+                rows = [[name, value] for name, value
+                        in sorted((cluster.get("counts") or {}).items())]
+                rows += [["coordinator", cluster.get("coordinator")],
+                         ["embedded", cluster.get("embedded")],
+                         ["sweep submitted", cluster.get("submitted")],
+                         ["sweep unfinished", cluster.get("unfinished")]]
+                print(format_table(["stat", "value"], rows,
+                                   title="Cluster scheduling"))
+                _print_fleet_table(cluster.get("workers") or {})
             return 0
         # compare
         entry_a = ledger.get(args.a)
@@ -613,6 +773,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _corpus_command(args)
     if args.command == "runs":
         return _runs_command(args)
+    if args.command == "cluster":
+        return _cluster_command(args)
     if args.command == "bench":
         return _bench_command(args)
     if args.command in _TABLE_COMMANDS:

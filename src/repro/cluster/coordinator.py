@@ -1,0 +1,328 @@
+"""The cluster coordinator: a stdlib HTTP server over a lease table.
+
+One :class:`Coordinator` owns the job queue for a fleet. It can run
+standalone (``repro-sim cluster coordinator``) to serve many sweeps
+from many submitters, or *embedded* — started by a
+:class:`~repro.core.executor.SweepExecutor` running with
+``--backend cluster`` and stopped when its sweep completes.
+
+Responsibilities beyond routing HTTP to the
+:class:`~repro.cluster.leases.LeaseTable`:
+
+* **Key derivation.** Submitted job payloads are decoded and keyed by
+  ``ExperimentJob.cache_key()`` *on the coordinator*, so the queue's
+  dedupe/coalescing identity is exactly the executor cache identity
+  and a client can never poison the table with a mismatched key.
+  (Submitter, coordinator, and workers must run the same ``repro``
+  tree — the code fingerprint is part of every key.)
+* **Cache integration.** At submit time each key is probed against the
+  shared :class:`~repro.core.executor.ResultCache`; hits are born
+  finished and never queued (a restarted coordinator thus rebuilds
+  "already done" from the cache). Accepted completions are written
+  back with ``put_if_absent`` — first writer wins, duplicates never
+  double-count cache statistics.
+* **Telemetry.** Queue depth / active leases / worker peaks are kept
+  as gauges, robustness events (steals, retries, duplicates,
+  failures) as counters, and per-worker attribution as labelled
+  counters, all exported as a
+  :class:`~repro.telemetry.MetricsRegistry` snapshot in
+  ``GET /api/status`` (metric names in docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import threading
+from typing import Dict, Optional, Union
+
+from repro import telemetry
+from repro.cluster.leases import LeaseTable
+from repro.cluster.protocol import (
+    DEFAULT_LEASE_TIMEOUT_S,
+    DEFAULT_POLL_INTERVAL_S,
+    PROTOCOL_VERSION,
+    decode_job,
+    decode_result,
+)
+from repro.cluster.retry import RetryPolicy
+from repro.core.executor import ResultCache
+from repro.errors import ClusterError, ReproError
+from repro.telemetry import MetricsRegistry, span
+
+
+def parse_bind(bind: str) -> tuple:
+    """``"host:port"`` -> ``(host, port)`` (port 0 = ephemeral)."""
+    host, _, port = bind.rpartition(":")
+    if not host:
+        raise ClusterError(f"bad bind address {bind!r}; want host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ClusterError(f"bad bind port in {bind!r}")
+
+
+class _Handler(http.server.BaseHTTPRequestHandler):
+    """Routes /api/* to the owning coordinator; silent access log."""
+
+    protocol_version = "HTTP/1.1"
+    coordinator: "Coordinator"  # set on the per-coordinator subclass
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # the coordinator is chatty enough through its metrics
+
+    def _reply(self, payload: Dict[str, object], code: int = 200) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError as error:
+            raise ClusterError(f"request body is not JSON: {error}")
+        if not isinstance(payload, dict):
+            raise ClusterError("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/api/status":
+                self._reply(self.coordinator.status())
+            elif self.path.startswith("/api/batch/"):
+                batch_id = self.path.rsplit("/", 1)[-1]
+                self._reply(self.coordinator.batch_status(batch_id))
+            else:
+                self._reply({"error": f"unknown path {self.path}"}, 404)
+        except ReproError as error:
+            self._reply({"error": str(error)}, 400)
+        except OSError:  # pragma: no cover - client went away mid-reply
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            payload = self._read_json()
+            handler = {
+                "/api/register": self.coordinator.handle_register,
+                "/api/lease": self.coordinator.handle_lease,
+                "/api/heartbeat": self.coordinator.handle_heartbeat,
+                "/api/complete": self.coordinator.handle_complete,
+                "/api/fail": self.coordinator.handle_fail,
+                "/api/submit": self.coordinator.handle_submit,
+                "/api/shutdown": self.coordinator.handle_shutdown,
+            }.get(self.path)
+            if handler is None:
+                self._reply({"error": f"unknown path {self.path}"}, 404)
+                return
+            self._reply(handler(payload))
+        except ReproError as error:
+            self._reply({"error": str(error)}, 400)
+        except OSError:  # pragma: no cover - client went away mid-reply
+            pass
+
+
+class Coordinator:
+    """Serve a work-stealing job queue over localhost/LAN HTTP."""
+
+    def __init__(
+        self,
+        bind: str = "127.0.0.1:0",
+        cache: Union[ResultCache, None, str] = "default",
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        if cache == "default":
+            self.cache: Optional[ResultCache] = ResultCache.default()
+        else:
+            self.cache = cache  # type: ignore[assignment]
+        self.poll_interval_s = poll_interval_s
+        self.table = LeaseTable(lease_timeout_s=lease_timeout_s,
+                                policy=policy)
+        self._draining = False
+        self._peaks = {"queue_depth": 0, "active_leases": 0, "workers": 0}
+        handler = type("BoundHandler", (_Handler,), {"coordinator": self})
+        host, port = parse_bind(bind)
+        try:
+            self._server = http.server.ThreadingHTTPServer(
+                (host, port), handler)
+        except OSError as error:
+            raise ClusterError(f"cannot bind coordinator to {bind}: {error}")
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "Coordinator":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-cluster-coordinator", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain`` workers are told to shut down
+        on their next lease poll before the socket closes."""
+        self._draining = drain
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (the standalone CLI path)."""
+        try:
+            self._server.serve_forever(poll_interval=0.05)
+        finally:
+            self._server.server_close()
+
+    # -- peak tracking -------------------------------------------------
+
+    def _track_peaks(self) -> None:
+        stats = self.table.stats()
+        for gauge, value in (("queue_depth", stats["queue_depth"]),
+                             ("active_leases", stats["active_leases"]),
+                             ("workers", len(stats["workers"]))):
+            if value > self._peaks[gauge]:  # type: ignore[operator]
+                self._peaks[gauge] = value  # type: ignore[assignment]
+
+    # -- endpoint handlers ---------------------------------------------
+
+    def handle_register(self, payload: Dict[str, object]) -> Dict[str, object]:
+        worker_id = self.table.register(str(payload.get("worker", "")))
+        self._track_peaks()
+        return {
+            "worker_id": worker_id,
+            "version": PROTOCOL_VERSION,
+            "lease_timeout_s": self.table.lease_timeout_s,
+            "poll_interval_s": self.poll_interval_s,
+        }
+
+    def handle_lease(self, payload: Dict[str, object]) -> Dict[str, object]:
+        if self._draining:
+            return {"status": "shutdown"}
+        with span("cluster/lease"):
+            grant = self.table.lease(str(payload.get("worker_id", "")))
+        self._track_peaks()
+        if grant is None:
+            return {"status": "idle",
+                    "retry_after_s": self.poll_interval_s}
+        grant["status"] = "job"
+        return grant
+
+    def handle_heartbeat(self, payload: Dict[str, object]) -> Dict[str, object]:
+        lost = self.table.heartbeat(
+            str(payload.get("worker_id", "")),
+            [str(x) for x in payload.get("lease_ids", [])])  # type: ignore[union-attr]
+        return {"ok": True, "lost": lost}
+
+    def handle_complete(self, payload: Dict[str, object]) -> Dict[str, object]:
+        result_payload = payload.get("result")
+        if not isinstance(result_payload, dict):
+            raise ClusterError("complete: missing result object")
+        decode_result(result_payload)  # validate before accepting
+        key = str(payload.get("key", ""))
+        with span("cluster/complete", key=key[:12]):
+            verdict = self.table.complete(
+                str(payload.get("worker_id", "")),
+                str(payload.get("lease_id", "")), key, result_payload)
+        if verdict.get("accepted") and self.cache is not None:
+            # first-writer-wins on disk too: a duplicate completion
+            # that lost the race above never rewrites the cache entry,
+            # so ledger cache statistics count each result once
+            self.cache.put_if_absent(
+                key, decode_result(result_payload))
+        return verdict
+
+    def handle_fail(self, payload: Dict[str, object]) -> Dict[str, object]:
+        return self.table.fail(
+            str(payload.get("worker_id", "")),
+            str(payload.get("lease_id", "")),
+            str(payload.get("key", "")),
+            str(payload.get("error", "unspecified worker error")))
+
+    def handle_submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        jobs = payload.get("jobs")
+        if not isinstance(jobs, list):
+            raise ClusterError("submit: missing jobs list")
+        keys = []
+        with span("cluster/submit", jobs=len(jobs)):
+            for encoded in jobs:
+                job = decode_job(encoded)
+                key = job.cache_key()
+                if key is None:
+                    raise ClusterError(
+                        "submit: job has no cache key (raw programs and "
+                        "checksum-less shards run on the local backend)")
+                keys.append(key)
+            cached: Dict[str, Dict[str, object]] = {}
+            if self.cache is not None:
+                for key in keys:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        cached[key] = hit.to_json_dict()
+            batch_id, stats = self.table.submit(jobs, keys, cached)
+        self._track_peaks()
+        return {"batch_id": batch_id, "submitted": len(jobs), **stats}
+
+    def handle_shutdown(self, payload: Dict[str, object]) -> Dict[str, object]:
+        # shutdown() blocks until serve_forever exits, so it must run
+        # off the request thread that is inside serve_forever's handler
+        threading.Thread(target=self.stop, daemon=True).start()
+        return {"ok": True}
+
+    # -- introspection -------------------------------------------------
+
+    def batch_status(self, batch_id: str) -> Dict[str, object]:
+        status = self.table.batch_status(batch_id)
+        status["workers_alive"] = self.table.workers_alive()
+        return status
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Cluster state as a mergeable metrics snapshot.
+
+        Gauges carry peaks (the one order-independent aggregate), so
+        merging snapshots from repeated polls never undercounts a
+        fleet's high-water utilisation.
+        """
+        registry = MetricsRegistry()
+        stats = self.table.stats()
+        for name, value in sorted(stats["counts"].items()):  # type: ignore[union-attr]
+            registry.counter(f"cluster.{name}").increment(int(value))
+        for gauge, peak in sorted(self._peaks.items()):
+            registry.gauge(f"cluster.{gauge}").set(float(peak))
+        for name, info in sorted(stats["workers"].items()):  # type: ignore[union-attr]
+            registry.counter("cluster.worker.jobs",
+                             worker=name).increment(int(info["jobs"]))
+            registry.counter("cluster.worker.wall_ms", worker=name).increment(
+                int(round(1000.0 * float(info["wall_time_s"]))))
+        return registry.snapshot()
+
+    def status(self) -> Dict[str, object]:
+        stats = self.table.stats()
+        stats["url"] = self.url
+        stats["version"] = PROTOCOL_VERSION
+        stats["draining"] = self._draining
+        stats["workers_alive"] = self.table.workers_alive()
+        stats["peaks"] = dict(self._peaks)
+        stats["metrics"] = self.metrics_snapshot()
+        return stats
+
+
+def merge_cluster_metrics(snapshot: Dict[str, object]) -> None:
+    """Fold a coordinator metrics snapshot into the process-global
+    registry (no-op when telemetry is off)."""
+    if telemetry.enabled():
+        telemetry.metrics().merge(snapshot)

@@ -1,0 +1,65 @@
+"""Capped exponential backoff with deterministic jitter.
+
+One policy object serves every retry site in the harness — the
+coordinator's re-queue of failed jobs, the worker's transport retries,
+and the local executor's broken-pool recovery — so "how we retry" is
+defined exactly once (docs/distributed.md has the semantics table).
+
+Jitter is *deterministic*: it is derived by hashing the retry key and
+attempt number, not by sampling a global RNG. Retries therefore never
+perturb ``random`` state anywhere in the simulator, and a test can
+predict the exact delay schedule for any key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+#: Attempts after which a job is terminally failed (first try included).
+DEFAULT_MAX_ATTEMPTS = 4
+
+DEFAULT_BASE_DELAY_S = 0.1
+DEFAULT_MAX_DELAY_S = 5.0
+DEFAULT_JITTER = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """``delay = min(base * 2^(attempt-1), max) * (1 +/- jitter)``.
+
+    ``max_attempts`` counts *executions*, not retries: a job under the
+    default policy runs at most four times before it is declared
+    terminally failed.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base_delay_s: float = DEFAULT_BASE_DELAY_S
+    max_delay_s: float = DEFAULT_MAX_DELAY_S
+    jitter: float = DEFAULT_JITTER
+
+    def exhausted(self, attempts: int) -> bool:
+        """Has a job that ran ``attempts`` times used its whole budget?"""
+        return attempts >= self.max_attempts
+
+    def delay_s(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry).
+
+        The jitter factor is a pure function of ``(key, attempt)``:
+        uniformly spread over ``[1 - jitter, 1 + jitter]`` by hashing,
+        so concurrent retries of *different* jobs de-synchronise while
+        any single schedule stays reproducible.
+        """
+        attempt = max(1, attempt)
+        delay = min(self.base_delay_s * (2 ** (attempt - 1)),
+                    self.max_delay_s)
+        if self.jitter <= 0.0:
+            return delay
+        digest = hashlib.sha256(f"{key}#{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(2 ** 64)  # [0, 1)
+        return delay * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def schedule(self, key: str = "") -> list:
+        """Every retry delay the policy allows for ``key``, in order."""
+        return [self.delay_s(attempt, key)
+                for attempt in range(1, self.max_attempts)]

@@ -24,6 +24,7 @@ from repro.core.experiment import (
 from repro.core.sweep import (
     mechanism_sweep,
     multipath_sweep,
+    stack_depth_jobs,
     stack_depth_sweep,
     trace_depth_sweep,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "run_cycle",
     "run_fast",
     "run_multipath",
+    "stack_depth_jobs",
     "stack_depth_sweep",
     "table1",
     "table3_baseline",

@@ -49,6 +49,25 @@ def mechanism_sweep(
             for mechanism, result in zip(mechanisms, results)}
 
 
+def stack_depth_jobs(
+    workload: Workload,
+    sizes: Sequence[int],
+    mechanism: RepairMechanism = RepairMechanism.TOS_POINTER_AND_CONTENTS,
+    use_fast_model: bool = True,
+    base: Optional[MachineConfig] = None,
+) -> List[ExperimentJob]:
+    """The job list behind :func:`stack_depth_sweep`, one per depth.
+
+    Exposed separately so other schedulers — the ``repro-sim cluster
+    submit`` command in particular — can hand the exact same cacheable
+    jobs to a different executor without re-deriving configs.
+    """
+    repaired = (base or baseline_config()).with_repair(mechanism)
+    engine = "fast" if use_fast_model else "cycle"
+    return [ExperimentJob(workload, repaired.with_ras_entries(size), engine)
+            for size in sizes]
+
+
 def stack_depth_sweep(
     workload: Workload,
     sizes: Sequence[int],
@@ -67,10 +86,9 @@ def stack_depth_sweep(
     on ``(name, seed, scale)`` — so an N-point sweep costs one program
     build per worker, not N. A prebuilt ``Program`` is shared as-is.
     """
-    repaired = (base or baseline_config()).with_repair(mechanism)
-    engine = "fast" if use_fast_model else "cycle"
-    jobs = [ExperimentJob(workload, repaired.with_ras_entries(size), engine)
-            for size in sizes]
+    jobs = stack_depth_jobs(workload, sizes, mechanism=mechanism,
+                            use_fast_model=use_fast_model, base=base)
+    engine = jobs[0].engine if jobs else "fast"
     with span("sweep/stack-depth", engine=engine, points=len(jobs)):
         results = _executor(executor).run(jobs)
     return {size: result.return_accuracy

@@ -47,3 +47,17 @@ class CorpusError(ReproError):
     checksum no longer matches its manifest entry, a duplicate shard
     name, or an undecodable imported trace.
     """
+
+
+class ClusterError(ReproError):
+    """A distributed-sweep operation failed (bad message, dead lease,
+    a job that exhausted its retry budget, ...)."""
+
+
+class ClusterUnavailable(ClusterError):
+    """No usable cluster: the coordinator is unreachable or no worker
+    registered within the grace window.
+
+    The executor treats this as a signal to degrade gracefully to the
+    local process pool, never as a sweep failure.
+    """

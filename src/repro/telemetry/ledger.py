@@ -38,8 +38,11 @@ LEDGER_SCHEMA = 1
 LEDGER_FILENAME = "ledger.jsonl"
 
 #: Entry keys that legitimately differ between two runs of the same
-#: sweep (wall-clock identity and timing); everything else must match.
-NONDETERMINISTIC_KEYS = ("run_id", "ts", "utc", "wall_time_s", "sim_time_s")
+#: sweep: wall-clock identity, timing, and scheduling attribution (the
+#: ``cluster`` block records which worker ran what — honest, but a
+#: property of the fleet, not of the results).
+NONDETERMINISTIC_KEYS = ("run_id", "ts", "utc", "wall_time_s", "sim_time_s",
+                         "cluster")
 
 Entry = Dict[str, object]
 
