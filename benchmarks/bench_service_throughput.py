@@ -1,0 +1,105 @@
+"""Service throughput: submit-to-result latency over real HTTP.
+
+Boots the full service stack (:class:`repro.service.BackgroundServer`
+on an ephemeral port), pays for one cold sweep, then hammers the same
+request warm: every warm ``POST /v1/sweeps`` coalesces onto the
+finished job and returns the result inline, so each round trip measures
+the whole service path — socket accept, HTTP framing, admission,
+coalescing lookup, JSON render — with zero engine work.
+
+The emitted ``BENCH_service_throughput.json`` records the cold wall
+time and the warm p50/p95 latency; the CI service-smoke job holds it
+against ``benchmarks/baselines/service.json`` via ``repro-sim bench
+compare``. The test itself asserts the product target: warm
+submit→result p50 under 50 ms on a local machine, enforced here with
+CI headroom (see ``WARM_P50_BUDGET_MS``).
+"""
+
+import json
+import time
+import urllib.request
+
+from repro.core.executor import ResultCache
+from repro.service import BackgroundServer, ServiceServer, SimulationService
+
+#: Warm round trips to sample (sequential; one connection each, like
+#: real clients).
+WARM_REQUESTS = 100
+
+#: The docs/service.md target is p50 < 50 ms warm on a local machine;
+#: CI runners are slower and noisier, so the hard gate carries 5x
+#: headroom. Regressions beyond noise still trip the bench-compare
+#: wall-time gate.
+WARM_P50_BUDGET_MS = 250.0
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST")
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.load(response)
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * fraction))]
+
+
+def test_bench_service_throughput(benchmark, emit, bench_seed, bench_scale,
+                                  tmp_path):
+    payload = {"sweep": "hit-rates", "names": ["li"],
+               "seed": bench_seed, "scale": bench_scale}
+    service = SimulationService(cache=ResultCache(tmp_path / "cache"),
+                                jobs=1)
+
+    def measure():
+        with BackgroundServer(ServiceServer(service, port=0)) as background:
+            url = background.url + "/v1/sweeps"
+            cold_started = time.perf_counter()
+            status, submitted = _post(url, payload)
+            assert status == 202, status
+            job = submitted["job"]
+            while True:
+                with urllib.request.urlopen(
+                        f"{background.url}/v1/sweeps/{job}") as response:
+                    descriptor = json.load(response)
+                if descriptor["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.05)
+            cold_s = time.perf_counter() - cold_started
+            assert descriptor["state"] == "done", descriptor.get("error")
+
+            latencies_ms = []
+            for _ in range(WARM_REQUESTS):
+                started = time.perf_counter()
+                status, body = _post(url, payload)
+                latencies_ms.append((time.perf_counter() - started) * 1e3)
+                assert status == 200 and body["job"] == job
+
+            with urllib.request.urlopen(
+                    background.url + "/metricz") as response:
+                queue = json.load(response)["service"]["queue"]
+            assert queue["executed"] == 1  # every warm submit coalesced
+            assert queue["requests"] == 1 + WARM_REQUESTS
+
+        rows = [
+            ["cold", 1, len(descriptor["result"]["rows"]),
+             round(cold_s * 1e3, 1), round(cold_s * 1e3, 1)],
+            ["warm", WARM_REQUESTS, len(descriptor["result"]["rows"]),
+             round(_percentile(latencies_ms, 0.50), 2),
+             round(_percentile(latencies_ms, 0.95), 2)],
+        ]
+        title = ("Service submit->result latency "
+                 f"(hit-rates/li, {WARM_REQUESTS} warm round trips)")
+        headers = ["phase", "requests", "result rows",
+                   "p50 ms", "p95 ms"]
+        return (title, headers, rows), latencies_ms
+
+    table, latencies_ms = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("service_throughput", table)
+
+    warm_p50 = table[2][1][3]
+    assert warm_p50 < WARM_P50_BUDGET_MS, (
+        f"warm submit->result p50 was {warm_p50:.1f} ms; the service "
+        f"target is < 50 ms locally (budget {WARM_P50_BUDGET_MS} ms "
+        f"with CI headroom)")

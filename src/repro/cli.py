@@ -17,6 +17,7 @@ Examples:
     repro-sim cluster coordinator --bind 127.0.0.1:8736
     repro-sim cluster worker --coordinator http://127.0.0.1:8736
     repro-sim stack-depth --backend cluster     # sweep through the fleet
+    repro-sim serve --bind 127.0.0.1:8642       # HTTP API + dashboard
     repro-sim runs list
     repro-sim runs compare -2 -1
     repro-sim bench compare benchmarks/baselines/smoke.json benchmarks/out
@@ -49,33 +50,11 @@ from repro.core.experiment import (
     run_cycle,
     run_multipath,
 )
+from repro.service.core import SWEEPS, SimulationService, normalize_request
 from repro.stats.tables import format_table
 from repro.workloads.characterize import table2 as build_table2
 from repro.workloads.generator import build_workload
 from repro.workloads.profiles import BENCHMARK_NAMES
-
-_TABLE_COMMANDS = {
-    "table1": lambda args, ex: table_builders.table1(),
-    "table3": lambda args, ex: table_builders.table3_baseline(
-        args.names, args.seed, args.scale, executor=ex),
-    "table4": lambda args, ex: table_builders.table4_btb_only(
-        args.names, args.seed, args.scale, executor=ex),
-    "hit-rates": lambda args, ex: table_builders.fig_hit_rates(
-        names=args.names, seed=args.seed, scale=args.scale, executor=ex),
-    "speedup": lambda args, ex: table_builders.fig_speedup(
-        args.names, args.seed, args.scale, executor=ex),
-    "stack-depth": lambda args, ex: table_builders.fig_stack_depth(
-        names=args.names, seed=args.seed, scale=args.scale, executor=ex),
-    "multipath": lambda args, ex: table_builders.fig_multipath(
-        names=args.names, seed=args.seed, scale=args.scale, executor=ex),
-    "ablation-mechanisms": lambda args, ex: table_builders.ablation_mechanisms(
-        args.names, args.seed, args.scale, executor=ex),
-    "ablation-shadow": lambda args, ex: table_builders.ablation_shadow_slots(
-        names=args.names, seed=args.seed, scale=args.scale, executor=ex),
-    "ablation-fastsim":
-        lambda args, ex: table_builders.ablation_fastsim_crosscheck(
-            args.names, args.seed, args.scale, executor=ex),
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -112,7 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the table as JSON to OUT "
                             "(table commands only)")
 
-    for name in _TABLE_COMMANDS:
+    for name in SWEEPS:
         p = sub.add_parser(name, help=f"print {name}")
         common(p)
 
@@ -230,6 +209,9 @@ def _build_parser() -> argparse.ArgumentParser:
     r = rsub.add_parser("show", help="one ledger entry in full")
     ledger_opt(r)
     r.add_argument("ref", help="run id (prefix) or index (-1 = latest)")
+    r.add_argument("--json", metavar="OUT", default=None,
+                   help="also write the entry (plus its integrity "
+                        "verdict) as JSON to OUT")
 
     r = rsub.add_parser("compare",
                         help="diff two ledger entries (config fingerprint "
@@ -284,6 +266,35 @@ def _build_parser() -> argparse.ArgumentParser:
                    default=[1, 2, 4, 8, 12, 16, 32, 64])
     c.add_argument("--mechanism", default="tos-pointer-contents",
                    choices=[m.value for m in RepairMechanism])
+
+    p = sub.add_parser("serve",
+                       help="run the simulation service: HTTP API, job "
+                            "queue, live dashboard (docs/service.md)")
+    p.add_argument("--bind", default="127.0.0.1:8642",
+                   help="host:port to listen on (port 0 = ephemeral; "
+                        "the chosen port is announced on stderr)")
+    p.add_argument("--jobs", type=int, default=default_jobs(),
+                   help="worker processes per sweep (default: "
+                        "$REPRO_JOBS or 1)")
+    p.add_argument("--backend", default=default_backend(),
+                   choices=list(BACKENDS),
+                   help="where cache misses execute (docs/distributed.md)")
+    p.add_argument("--coordinator", default=None,
+                   help="coordinator URL for --backend cluster")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the on-disk result cache")
+    p.add_argument("--max-concurrency", type=int, default=2,
+                   help="sweeps simulated at once; beyond this, jobs "
+                        "queue (default 2)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="per-tenant submits/second token-bucket rate "
+                        "(default: unlimited)")
+    p.add_argument("--burst", type=int, default=None,
+                   help="token-bucket burst capacity (default: max(1, "
+                        "int(rate)))")
+    p.add_argument("--quota", type=int, default=None,
+                   help="max outstanding (queued+running) jobs per "
+                        "tenant (default: unlimited)")
 
     p = sub.add_parser("bench",
                        help="benchmark baselines and the CI regression "
@@ -637,43 +648,26 @@ def _print_fleet_table(workers: dict) -> None:
 
 def _runs_command(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
-    from repro.telemetry import RunLedger, compare_entries
 
-    path = args.ledger or str(ResultCache.default_root()
-                              / telemetry.LEDGER_FILENAME)
-    ledger = RunLedger(path)
+    # The ledger read API lives in the service core so `repro-sim runs`
+    # and `GET /v1/runs` render the same data (docs/service.md).
+    service = SimulationService(cache=None)
     try:
         if args.runs_command == "list":
-            entries = ledger.entries(limit=args.limit)
+            (title, headers, rows), entries = service.runs_table(
+                limit=args.limit, path=args.ledger)
             if not entries:
-                print(f"no runs recorded at {path}", file=sys.stderr)
+                print(f"no runs recorded at {service.ledger(args.ledger).path}",
+                      file=sys.stderr)
                 return 1
-            rows = []
-            for entry in entries:
-                cache = entry.get("cache") or {}
-                hit_rate = cache.get("hit_rate")
-                headline = entry.get("headline") or {}
-                accuracy = headline.get("return_accuracy")
-                rows.append([
-                    entry.get("run_id"),
-                    entry.get("utc"),
-                    ",".join(entry.get("engines") or []),
-                    entry.get("submitted"),
-                    entry.get("jobs"),
-                    None if hit_rate is None else round(100 * hit_rate, 1),
-                    entry.get("wall_time_s"),
-                    None if accuracy is None else round(100 * accuracy, 2),
-                ])
-            title = f"Run ledger {path} ({len(entries)} shown)"
-            headers = ["run id", "utc", "engines", "sweeps", "jobs",
-                       "cache hit %", "wall s", "return acc %"]
             print(format_table(headers, rows, title=title))
             if args.json:
                 return _write_json(args, title, headers, rows)
             return 0
         if args.runs_command == "show":
-            entry = ledger.get(args.ref)
-            integrity = "ok" if ledger.verify(entry) else "MISMATCH"
+            info = service.run_entry(args.ref, path=args.ledger)
+            entry = info["entry"]
+            integrity = "ok" if info["integrity_ok"] else "MISMATCH"
             rows = []
             for key in sorted(entry):
                 if key in ("metrics", "cluster"):
@@ -707,11 +701,19 @@ def _runs_command(args: argparse.Namespace) -> int:
                 print(format_table(["stat", "value"], rows,
                                    title="Cluster scheduling"))
                 _print_fleet_table(cluster.get("workers") or {})
+            if args.json:
+                try:
+                    with open(args.json, "w") as handle:
+                        json.dump(info, handle, indent=2, default=str)
+                        handle.write("\n")
+                except OSError as error:
+                    print(f"repro-sim: cannot write --json {args.json}: "
+                          f"{error}", file=sys.stderr)
+                    return 1
+                print(f"json written to {args.json}", file=sys.stderr)
             return 0
         # compare
-        entry_a = ledger.get(args.a)
-        entry_b = ledger.get(args.b)
-        diff = compare_entries(entry_a, entry_b)
+        diff = service.compare_runs(args.a, args.b, path=args.ledger)
         field_rows = []
         for field, delta in diff["fields"].items():
             shown_a, shown_b = delta["a"], delta["b"]
@@ -757,6 +759,29 @@ def _runs_command(args: argparse.Namespace) -> int:
         return 1
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    from repro.cluster.coordinator import parse_bind
+    from repro.errors import ReproError
+    from repro.service import ServiceServer, TenantLimiter, serve
+
+    try:
+        host, port = parse_bind(args.bind)
+        service = SimulationService(
+            cache=None if args.no_cache else "default",
+            jobs=args.jobs, backend=args.backend,
+            coordinator_url=args.coordinator)
+        limiter = TenantLimiter(rate_per_s=args.rate, burst=args.burst,
+                                quota=args.quota)
+        server = ServiceServer(service, host=host, port=port,
+                               max_concurrency=args.max_concurrency,
+                               limiter=limiter)
+        serve(server)
+        return 0
+    except ReproError as error:
+        print(f"repro-sim serve: {error}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _fix_names(args)
@@ -777,13 +802,30 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cluster_command(args)
     if args.command == "bench":
         return _bench_command(args)
-    if args.command in _TABLE_COMMANDS:
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command in SWEEPS:
+        # Table commands run through the service core, so the CLI and
+        # the HTTP API are two frontends over the same calls; the
+        # executor still carries this invocation's scheduling flags.
+        from repro.errors import ServiceError
+        try:
+            request = normalize_request({
+                "sweep": args.command, "names": args.names,
+                "seed": args.seed, "scale": args.scale,
+            })
+        except ServiceError as error:
+            print(f"repro-sim {args.command}: {error}", file=sys.stderr)
+            return 1
         executor = _make_executor(args)
-        title, headers, rows = _TABLE_COMMANDS[args.command](args, executor)
-        print(format_table(headers, rows, title=title))
+        outcome = SimulationService(cache=None).run_sweep(
+            request, executor=executor)
+        print(format_table(outcome.headers, outcome.rows,
+                           title=outcome.title))
         _print_sweep_summary(executor)
         if args.json:
-            return _write_json(args, title, headers, rows, executor)
+            return _write_json(args, outcome.title, outcome.headers,
+                               outcome.rows, executor)
         return 0
     if args.command == "table2":
         print(build_table2(args.names, seed=args.seed, scale=args.scale))

@@ -445,6 +445,50 @@ class ResultCache:
             return None
         return cls(cls.default_root())
 
+    @classmethod
+    def default_ledger_path(cls) -> pathlib.Path:
+        """Where the run ledger lives under the default cache root.
+
+        The one public spelling of the ledger location: the CLI and the
+        service layer both resolve it here instead of joining private
+        path pieces themselves.
+        """
+        from repro.telemetry import LEDGER_FILENAME
+        return cls.default_root() / LEDGER_FILENAME
+
+    @property
+    def ledger_path(self) -> pathlib.Path:
+        """The run-ledger file paired with this cache root."""
+        from repro.telemetry import LEDGER_FILENAME
+        return self.base_root / LEDGER_FILENAME
+
+    def stats(self) -> Dict[str, object]:
+        """On-disk occupancy: entry count and byte total under the
+        current schema root.
+
+        Served by ``GET /metricz`` and usable by operators to size
+        cache eviction; a missing or unreadable root reads as empty
+        rather than raising (the same degraded-mode stance as
+        :meth:`get`/:meth:`put`).
+        """
+        entries = 0
+        size = 0
+        try:
+            for path in self.root.rglob("*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        except OSError:
+            pass
+        return {
+            "root": str(self.base_root),
+            "schema": CACHE_SCHEMA,
+            "entries": entries,
+            "bytes": size,
+        }
+
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 

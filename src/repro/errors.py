@@ -54,6 +54,11 @@ class ClusterError(ReproError):
     a job that exhausted its retry budget, ...)."""
 
 
+class ServiceError(ReproError):
+    """A simulation-service request is invalid (unknown sweep, bad
+    parameter, malformed payload, ...)."""
+
+
 class ClusterUnavailable(ClusterError):
     """No usable cluster: the coordinator is unreachable or no worker
     registered within the grace window.

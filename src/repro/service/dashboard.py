@@ -1,0 +1,159 @@
+"""The zero-dependency live-runs dashboard served at ``GET /``.
+
+One self-contained HTML page — no external scripts, stylesheets, fonts,
+or build step — that a browser pointed at ``repro-sim serve`` renders
+into three live panels:
+
+* **Jobs** — every sweep the queue has seen, updated in place from the
+  global SSE feed (``/v1/events``): state, coalesced-submit count,
+  wall time once done.
+* **Event log** — the raw progress stream, newest first, capped
+  client-side.
+* **Service** — ``/healthz`` + the queue/cache/ledger numbers from
+  ``/metricz``, refreshed on a timer.
+
+The page is deliberately dumb: every number it shows comes verbatim
+from the JSON API, so it doubles as living documentation of the
+endpoints. Python's role is just to serve the string below.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro-sim service</title>
+<style>
+  body { font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 1.5rem; background: #111418; color: #d8dee4; }
+  h1 { font-size: 1.15rem; } h2 { font-size: 0.95rem; color: #8b949e; }
+  .pill { display: inline-block; padding: 0 .5em; border-radius: 1em;
+          font-size: .85em; }
+  .queued  { background: #3a3f44; }  .running { background: #1f4e8c; }
+  .done    { background: #1f6f43; }  .failed  { background: #8c2f39; }
+  table { border-collapse: collapse; margin: .5rem 0 1.25rem; }
+  th, td { padding: .2rem .7rem; border-bottom: 1px solid #2d333b;
+           text-align: left; }
+  #log { max-height: 16rem; overflow-y: auto; white-space: pre-wrap;
+         background: #0d1117; padding: .6rem; border: 1px solid #2d333b; }
+  #health span { margin-right: 1.2rem; }
+  .drain { color: #e3b341; }
+</style>
+</head>
+<body>
+<h1>repro-sim service &mdash; live runs</h1>
+<div id="health">connecting&hellip;</div>
+<h2>Jobs</h2>
+<table id="jobs"><thead><tr>
+  <th>job</th><th>sweep</th><th>state</th><th>submits</th>
+  <th>tenant</th><th>events</th>
+</tr></thead><tbody></tbody></table>
+<h2>Event log</h2>
+<div id="log"></div>
+<h2>Service</h2>
+<table id="svc"><tbody></tbody></table>
+<script>
+"use strict";
+const jobs = new Map();
+const logBox = document.getElementById("log");
+const MAX_LOG = 200;
+
+function renderJobs() {
+  const body = document.querySelector("#jobs tbody");
+  const rows = [...jobs.values()].sort(
+    (a, b) => (b.created_ts || 0) - (a.created_ts || 0));
+  body.innerHTML = rows.map(j => `<tr>
+    <td>${j.job}</td><td>${j.sweep || ""}</td>
+    <td><span class="pill ${j.state}">${j.state}</span></td>
+    <td>${j.submits || 1}</td><td>${j.tenant || ""}</td>
+    <td>${j.events || 0}</td></tr>`).join("");
+}
+
+function logLine(text) {
+  const line = document.createElement("div");
+  line.textContent = text;
+  logBox.prepend(line);
+  while (logBox.childElementCount > MAX_LOG) logBox.lastChild.remove();
+}
+
+function touch(id, patch) {
+  const job = jobs.get(id) || { job: id };
+  Object.assign(job, patch);
+  job.events = (job.events || 0) + 1;
+  jobs.set(id, job);
+  renderJobs();
+}
+
+const feed = new EventSource("/v1/events");
+feed.addEventListener("snapshot", e => {
+  const snap = JSON.parse(e.data);
+  (snap.jobs || []).forEach(j => jobs.set(j.job, j));
+  renderJobs();
+  renderHealth(snap.health || {});
+});
+feed.addEventListener("state", e => {
+  const ev = JSON.parse(e.data);
+  touch(ev.job, { state: ev.state });
+  logLine(`${ev.job} -> ${ev.state}`);
+});
+feed.addEventListener("progress", e => {
+  const ev = JSON.parse(e.data);
+  touch(ev.job, {});
+  logLine(`${ev.job} ${ev.span} ${ev.ms}ms`);
+});
+feed.addEventListener("done", e => {
+  const ev = JSON.parse(e.data);
+  touch(ev.job, { state: "done" });
+  logLine(`${ev.job} done: ${ev.rows} rows in ${ev.wall_time_s}s ` +
+          `(cache ${JSON.stringify(ev.cache)})`);
+});
+feed.addEventListener("failed", e => {
+  const ev = JSON.parse(e.data);
+  touch(ev.job, { state: "failed" });
+  logLine(`${ev.job} FAILED: ${ev.error}`);
+});
+feed.onerror = () => logLine("event stream interrupted");
+
+function renderHealth(h) {
+  document.getElementById("health").innerHTML =
+    `<span>ok: ${h.ok}</span>` +
+    `<span class="${h.draining ? "drain" : ""}">draining: ${h.draining}</span>` +
+    `<span>uptime: ${Math.round(h.uptime_s || 0)}s</span>` +
+    `<span>active jobs: ${h.active_jobs}</span>`;
+}
+
+async function pollService() {
+  try {
+    const [healthz, metricz] = await Promise.all([
+      fetch("/healthz").then(r => r.json()),
+      fetch("/metricz").then(r => r.json()),
+    ]);
+    renderHealth(healthz);
+    const queue = (metricz.service || {}).queue || {};
+    const cache = metricz.cache || {};
+    const ledger = metricz.ledger || {};
+    const rows = [
+      ["requests", queue.requests], ["coalesced", queue.coalesced],
+      ["executed", queue.executed], ["failed", queue.failed],
+      ["simulations", queue.simulations],
+      ["cache entries", cache.entries], ["cache bytes", cache.bytes],
+      ["ledger entries", ledger.entries], ["ledger path", ledger.path],
+      ["backend", metricz.backend], ["jobs/sweep", metricz.jobs],
+    ];
+    document.querySelector("#svc tbody").innerHTML = rows.map(
+      ([k, v]) => `<tr><th>${k}</th><td>${v ?? ""}</td></tr>`).join("");
+  } catch (err) { /* server draining or gone; the feed handler logs it */ }
+}
+pollService();
+setInterval(pollService, 5000);
+</script>
+</body>
+</html>
+"""
+
+
+def dashboard_html() -> str:
+    """The dashboard page (a function so the HTTP layer never imports a
+    half-megabyte constant eagerly if this ever grows)."""
+    return DASHBOARD_HTML

@@ -1,0 +1,120 @@
+"""Per-tenant admission control: token buckets and outstanding quotas.
+
+The service identifies a tenant by the ``X-Api-Key`` request header
+(absent = the shared ``"anonymous"`` tenant — the service is open by
+default). Two independent limits guard submission, both disabled unless
+configured:
+
+* **rate** — a classic token bucket per tenant: ``burst`` tokens of
+  capacity refilled at ``rate`` tokens/second. A submit takes one
+  token; an empty bucket rejects with the seconds until the next token
+  (the HTTP layer's 429 ``Retry-After``).
+* **quota** — a cap on *outstanding* (queued or running) jobs per
+  tenant. Coalesced submits don't consume quota: attaching to someone
+  else's identical sweep costs the fleet nothing.
+
+Deterministic by construction: the clock is injectable, so tests drive
+time explicitly instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """One tenant's refillable budget of submit tokens."""
+
+    def __init__(self, rate_per_s: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be > 0, got {rate_per_s}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = max(1, int(burst))
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(float(self.burst),
+                           self._tokens + elapsed * self.rate_per_s)
+        self._updated = now
+
+    def try_take(self) -> Tuple[bool, float]:
+        """Take one token: ``(True, 0.0)`` or ``(False, retry_after_s)``."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate_per_s
+
+
+class TenantLimiter:
+    """Admission control over every tenant the service has seen.
+
+    ``rate=None`` disables rate limiting, ``quota=None`` disables the
+    outstanding-jobs cap — the "default open" posture the service
+    starts with unless ``repro-sim serve`` passes limits.
+    """
+
+    def __init__(self, rate_per_s: Optional[float] = None,
+                 burst: Optional[int] = None,
+                 quota: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst if burst is not None else (
+            max(1, int(rate_per_s)) if rate_per_s else 1)
+        self.quota = quota
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._outstanding: Dict[str, int] = {}
+        #: Rejections by kind, for /metricz.
+        self.rejected: Dict[str, int] = {"rate": 0, "quota": 0}
+
+    def admit(self, tenant: str) -> Tuple[bool, str, float]:
+        """May ``tenant`` submit a *new* (uncoalesced) sweep right now?
+
+        Returns ``(allowed, reason, retry_after_s)``; ``reason`` is
+        ``"rate"`` or ``"quota"`` on rejection. The caller must pair an
+        allowed new-job submit with :meth:`job_started` /
+        :meth:`job_finished` so quotas track outstanding work.
+        """
+        if self.rate_per_s is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate_per_s, self.burst, clock=self._clock)
+            allowed, retry_after = bucket.try_take()
+            if not allowed:
+                self.rejected["rate"] += 1
+                return False, "rate", retry_after
+        if self.quota is not None:
+            if self._outstanding.get(tenant, 0) >= self.quota:
+                self.rejected["quota"] += 1
+                return False, "quota", 1.0
+        return True, "", 0.0
+
+    def job_started(self, tenant: str) -> None:
+        self._outstanding[tenant] = self._outstanding.get(tenant, 0) + 1
+
+    def job_finished(self, tenant: str) -> None:
+        count = self._outstanding.get(tenant, 0) - 1
+        if count > 0:
+            self._outstanding[tenant] = count
+        else:
+            self._outstanding.pop(tenant, None)
+
+    def outstanding(self, tenant: str) -> int:
+        return self._outstanding.get(tenant, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst if self.rate_per_s is not None else None,
+            "quota": self.quota,
+            "tenants": len(self._buckets) or len(self._outstanding),
+            "rejected": dict(self.rejected),
+        }

@@ -28,7 +28,7 @@ import json
 import os
 import time
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator, List, Optional, TextIO
+from typing import Callable, Deque, Dict, Iterator, List, Optional, TextIO
 
 from repro.telemetry import state
 
@@ -74,6 +74,8 @@ class SpanRecorder:
         self._epoch = time.perf_counter()
         self._sink_path: Optional[str] = None
         self._sink: Optional[TextIO] = None
+        self._subscribers: Dict[int, Callable[[Span], None]] = {}
+        self._next_token = 1
 
     @property
     def epoch(self) -> float:
@@ -102,8 +104,31 @@ class SpanRecorder:
             return None  # an unwritable sink degrades to in-memory only
         return self._sink
 
+    def subscribe(self, callback: Callable[[Span], None]) -> int:
+        """Call ``callback`` with every span as it is recorded.
+
+        The callback runs synchronously in the recording thread, so
+        subscribers that feed another thread (the service layer's
+        server-sent progress events) must hand off rather than block.
+        Returns a token for :meth:`unsubscribe`. A callback that raises
+        is dropped silently — live progress must never fail a sweep.
+        """
+        token = self._next_token
+        self._next_token += 1
+        self._subscribers[token] = callback
+        return token
+
+    def unsubscribe(self, token: int) -> None:
+        self._subscribers.pop(token, None)
+
     def record(self, span: Span) -> None:
         self._ring.append(span)
+        if self._subscribers:
+            for token, callback in list(self._subscribers.items()):
+                try:
+                    callback(span)
+                except Exception:
+                    self._subscribers.pop(token, None)
         sink = self._sink_handle()
         if sink is not None:
             try:
