@@ -20,6 +20,11 @@ Examples:
     repro-sim serve --bind 127.0.0.1:8642       # HTTP API + dashboard
     repro-sim runs list
     repro-sim runs compare -2 -1
+    repro-sim trace show -1                     # waterfall of the last run
+    repro-sim trace critical-path -1
+    repro-sim trace export -1 --out trace.json  # Perfetto / chrome://tracing
+    REPRO_PROFILE=1 repro-sim speedup && repro-sim trace flame -1
+    repro-sim cluster status --prom             # Prometheus exposition text
     repro-sim bench compare benchmarks/baselines/smoke.json benchmarks/out
     repro-sim bench snapshot benchmarks/out benchmarks/baselines/smoke.json
 """
@@ -222,6 +227,44 @@ def _build_parser() -> argparse.ArgumentParser:
     r.add_argument("--json", metavar="OUT", default=None,
                    help="also write the full diff as JSON to OUT")
 
+    p = sub.add_parser("trace",
+                       help="inspect distributed traces recorded next to "
+                            "the run ledger (docs/observability.md)")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    def trace_ref(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("ref", nargs="?", default="-1",
+                        help="trace id, run id (prefix), or ledger index "
+                             "(-1 = latest run; default)")
+
+    t = tsub.add_parser("list", help="known traces, newest first")
+    t.add_argument("--limit", type=int, default=20)
+
+    t = tsub.add_parser("show", help="ASCII waterfall of one trace")
+    trace_ref(t)
+    t.add_argument("--width", type=int, default=100,
+                   help="render width in columns (default 100)")
+
+    t = tsub.add_parser("critical-path",
+                        help="the span chain bounding end-to-end latency")
+    trace_ref(t)
+    t.add_argument("--json", metavar="OUT", default=None,
+                   help="also write the path as JSON to OUT")
+
+    t = tsub.add_parser("export",
+                        help="write Chrome trace-event JSON "
+                             "(open in Perfetto / chrome://tracing)")
+    trace_ref(t)
+    t.add_argument("--out", default=None,
+                   help="output file (default trace-<id>.json)")
+
+    t = tsub.add_parser("flame",
+                        help="hottest stacks from the sweep's sampling "
+                             "profile (REPRO_PROFILE=1)")
+    trace_ref(t)
+    t.add_argument("--top", type=int, default=20,
+                   help="rows per section (default 20)")
+
     p = sub.add_parser("cluster",
                        help="distributed sweep fleet: coordinator, "
                             "workers, status (docs/distributed.md)")
@@ -256,6 +299,9 @@ def _build_parser() -> argparse.ArgumentParser:
     c.add_argument("--coordinator", required=True)
     c.add_argument("--json", metavar="OUT", default=None,
                    help="also write the raw status payload to OUT")
+    c.add_argument("--prom", action="store_true",
+                   help="print the coordinator's /metricz Prometheus "
+                        "text instead of the tables")
 
     c = clsub.add_parser("submit",
                          help="run the stack-depth sweep through an "
@@ -561,8 +607,104 @@ def _bench_command(args: argparse.Namespace) -> int:
         return 1
 
 
+def _trace_resolve(ref: str, store) -> Optional[str]:
+    """A trace id from a raw id, a run-id prefix, or a ledger index."""
+    from repro.errors import ReproError
+    from repro.obs.store import valid_trace_id
+
+    if valid_trace_id(ref):
+        try:
+            if store.path(ref).exists():
+                return ref
+        except (ValueError, OSError):
+            pass
+    try:
+        info = SimulationService(cache=None).run_entry(ref)
+    except ReproError:
+        return None
+    trace_id = (info.get("entry") or {}).get("trace_id")
+    return trace_id if valid_trace_id(trace_id) else None
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    from repro.obs import analysis
+    from repro.obs.store import TraceStore
+
+    store = TraceStore.at_cache_root(ResultCache.default().base_root)
+    if args.trace_command == "list":
+        rows = []
+        for trace_id in store.trace_ids()[:max(1, args.limit)]:
+            rollup = analysis.summarize(store.load(trace_id))
+            rows.append([trace_id[:16], rollup["spans"],
+                         rollup["processes"], rollup["wall_ms"]])
+        if not rows:
+            print(f"no traces recorded under {store.root}", file=sys.stderr)
+            return 1
+        print(format_table(["trace", "spans", "processes", "wall ms"], rows,
+                           title=f"Traces at {store.root}"))
+        return 0
+    trace_id = _trace_resolve(args.ref, store)
+    if trace_id is None:
+        print(f"repro-sim trace: no trace for {args.ref!r} (is tracing "
+              f"on? REPRO_TRACE=0 disables it)", file=sys.stderr)
+        return 1
+    if args.trace_command == "flame":
+        from repro.obs.profile import render_flame
+        profile = store.load_profile(trace_id)
+        if not profile:
+            print(f"repro-sim trace: no profile for {trace_id} "
+                  f"(rerun with REPRO_PROFILE=1)", file=sys.stderr)
+            return 1
+        print(f"profile for trace {trace_id}")
+        print(render_flame(profile.splitlines(), limit=args.top))
+        return 0
+    spans = store.load(trace_id)
+    if not spans:
+        print(f"repro-sim trace: trace {trace_id} is empty",
+              file=sys.stderr)
+        return 1
+    if args.trace_command == "show":
+        print(analysis.waterfall(spans, width=args.width))
+        return 0
+    if args.trace_command == "critical-path":
+        info = analysis.critical_path(spans)
+        rows = [[index, step["name"], step["ms"], step["pid"]]
+                for index, step in enumerate(info["path"])]
+        print(format_table(
+            ["#", "span", "ms", "pid"], rows,
+            title=f"Critical path of {trace_id[:16]}: "
+                  f"{info['duration_ms']:.1f} of {info['trace_ms']:.1f} ms "
+                  f"({info['coverage']:.1%})"))
+        if args.json:
+            try:
+                with open(args.json, "w") as handle:
+                    json.dump({"trace_id": trace_id, **info}, handle,
+                              indent=2, default=str)
+                    handle.write("\n")
+            except OSError as error:
+                print(f"repro-sim: cannot write --json {args.json}: "
+                      f"{error}", file=sys.stderr)
+                return 1
+            print(f"json written to {args.json}", file=sys.stderr)
+        return 0
+    # export
+    out = args.out or f"trace-{trace_id[:12]}.json"
+    try:
+        with open(out, "w") as handle:
+            json.dump(analysis.chrome_trace(spans), handle, default=str)
+            handle.write("\n")
+    except OSError as error:
+        print(f"repro-sim trace: cannot write {out}: {error}",
+              file=sys.stderr)
+        return 1
+    print(f"chrome trace written to {out} "
+          f"({len(spans)} spans; open in Perfetto)")
+    return 0
+
+
 def _cluster_command(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
+    from repro.obs.log import logger
 
     try:
         if args.cluster_command == "coordinator":
@@ -573,8 +715,10 @@ def _cluster_command(args: argparse.Namespace) -> int:
                 bind=args.bind,
                 cache=None if args.no_cache else ResultCache.default(),
                 lease_timeout_s=lease)
-            print(f"coordinator listening at {coordinator.url} "
-                  f"(lease timeout {lease:g}s)", file=sys.stderr)
+            # scripts parse this exact line for the URL, so it stays in
+            # the event string (json mode carries it the same way)
+            logger("coordinator").info(
+                f"listening at {coordinator.url} (lease timeout {lease:g}s)")
             try:
                 coordinator.serve_forever()
             except KeyboardInterrupt:
@@ -586,19 +730,29 @@ def _cluster_command(args: argparse.Namespace) -> int:
                 args.coordinator, name=args.name,
                 cache=None if args.no_cache else "default",
                 max_jobs=args.max_jobs)
-            print("worker done: " + ", ".join(
-                f"{name}={value}"
-                for name, value in sorted(stats.items())), file=sys.stderr)
+            logger("worker").info(
+                "done", **{name: value
+                           for name, value in sorted(stats.items())})
             return 0
         if args.cluster_command == "status":
             from repro.cluster import ClusterClient
-            status = ClusterClient(args.coordinator).status()
+            client = ClusterClient(args.coordinator)
+            if args.prom:
+                print(client.metricz(), end="")
+                return 0
+            status = client.status()
             rows = [[name, value] for name, value
                     in sorted((status.get("counts") or {}).items())]
             rows += [["queue depth", status.get("queue_depth")],
                      ["active leases", status.get("active_leases")],
                      ["workers alive", status.get("workers_alive")],
                      ["draining", status.get("draining")]]
+            metrics = status.get("metrics")
+            if isinstance(metrics, dict):
+                rows.append(["metrics", ", ".join(
+                    f"{len(metrics.get(section) or {})} {section}"
+                    for section in ("counters", "gauges", "rates",
+                                    "histograms"))])
             print(format_table(["stat", "value"], rows,
                                title=f"Coordinator {status.get('url')}"))
             _print_fleet_table(status.get("workers") or {})
@@ -798,6 +952,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _corpus_command(args)
     if args.command == "runs":
         return _runs_command(args)
+    if args.command == "trace":
+        return _trace_command(args)
     if args.command == "cluster":
         return _cluster_command(args)
     if args.command == "bench":

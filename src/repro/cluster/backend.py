@@ -42,6 +42,7 @@ from repro.cluster.protocol import (
 )
 from repro.core.executor import ExperimentJob, JobResult, ResultCache
 from repro.errors import ClusterError, ClusterUnavailable
+from repro.obs import context as tracectx
 from repro.telemetry import span
 
 DEFAULT_GRACE_S = 5.0
@@ -142,7 +143,14 @@ def run_jobs_on_cluster(
                                           "submitted": len(keyed),
                                           "local_jobs": len(jobs) - len(keyed)}
             if keyed:
-                submitted = client.submit([jobs[i] for i in keyed])
+                # the ambient context (pushed by the executor's trace
+                # capture, around the cluster/batch span above) rides
+                # the submit payload so coordinator and worker spans
+                # join this sweep's trace
+                ctx = tracectx.current()
+                submitted = client.submit(
+                    [jobs[i] for i in keyed],
+                    trace=tracectx.to_wire(ctx) if ctx is not None else None)
                 batch_id = str(submitted["batch_id"])
                 status = _poll_batch(client, batch_id, grace)
                 raw_results = status.get("results") or [None] * len(keyed)
@@ -154,6 +162,12 @@ def run_jobs_on_cluster(
                         results[index] = decode_result(payload)
                 summary["unfinished"] = unfinished
                 summary["errors"] = status.get("errors") or {}
+                spans = status.get("spans")
+                if ctx is not None and isinstance(spans, list):
+                    # worker + coordinator span batches; the capture
+                    # filters them to this trace before persisting
+                    summary["spans"] = [item for item in spans
+                                        if isinstance(item, dict)]
             cluster_status = client.status()
             summary["workers"] = cluster_status.get("workers", {})
             summary["counts"] = cluster_status.get("counts", {})

@@ -34,10 +34,13 @@ from __future__ import annotations
 import http.server
 import json
 import threading
-from typing import Dict, Optional, Union
+import time
+from typing import Dict, List, Optional, Union
 
 from repro import telemetry
 from repro.cluster.leases import LeaseTable
+from repro.obs import context as tracectx
+from repro.obs import prom
 from repro.cluster.protocol import (
     DEFAULT_LEASE_TIMEOUT_S,
     DEFAULT_POLL_INTERVAL_S,
@@ -49,6 +52,7 @@ from repro.cluster.retry import RetryPolicy
 from repro.core.executor import ResultCache
 from repro.errors import ClusterError, ReproError
 from repro.telemetry import MetricsRegistry, span
+from repro.telemetry.spans import recorder
 
 
 def parse_bind(bind: str) -> tuple:
@@ -90,6 +94,15 @@ class _Handler(http.server.BaseHTTPRequestHandler):
             raise ClusterError("request body must be a JSON object")
         return payload
 
+    def _reply_text(self, body: str, content_type: str,
+                    code: int = 200) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         try:
             if self.path == "/api/status":
@@ -97,6 +110,11 @@ class _Handler(http.server.BaseHTTPRequestHandler):
             elif self.path.startswith("/api/batch/"):
                 batch_id = self.path.rsplit("/", 1)[-1]
                 self._reply(self.coordinator.batch_status(batch_id))
+            elif self.path == "/healthz":
+                self._reply(self.coordinator.healthz())
+            elif self.path == "/metricz":
+                self._reply_text(self.coordinator.metricz(),
+                                 prom.CONTENT_TYPE)
             else:
                 self._reply({"error": f"unknown path {self.path}"}, 404)
         except ReproError as error:
@@ -145,6 +163,7 @@ class Coordinator:
         self.table = LeaseTable(lease_timeout_s=lease_timeout_s,
                                 policy=policy)
         self._draining = False
+        self._started_ts = time.time()
         self._peaks = {"queue_depth": 0, "active_leases": 0, "workers": 0}
         handler = type("BoundHandler", (_Handler,), {"coordinator": self})
         host, port = parse_bind(bind)
@@ -210,11 +229,30 @@ class Coordinator:
             "poll_interval_s": self.poll_interval_s,
         }
 
+    @staticmethod
+    def _tag_span(sp, trace: object) -> None:
+        """Attach the submitter's trace identity to an open span.
+
+        Coordinator request spans open *before* the lease table tells
+        us which trace the touched job belongs to, so the identity is
+        stamped after the fact — the span has not been recorded yet.
+        """
+        if sp is None or not isinstance(trace, dict):
+            return
+        ctx = tracectx.from_wire(trace)
+        if ctx is None:
+            return
+        sp.trace_id = ctx.trace_id
+        sp.span_id = tracectx.new_span_id()
+        sp.parent_id = ctx.span_id or None
+
     def handle_lease(self, payload: Dict[str, object]) -> Dict[str, object]:
         if self._draining:
             return {"status": "shutdown"}
-        with span("cluster/lease"):
+        with span("cluster/lease") as sp:
             grant = self.table.lease(str(payload.get("worker_id", "")))
+            if grant is not None:
+                self._tag_span(sp, grant.get("trace"))
         self._track_peaks()
         if grant is None:
             return {"status": "idle",
@@ -234,10 +272,17 @@ class Coordinator:
             raise ClusterError("complete: missing result object")
         decode_result(result_payload)  # validate before accepting
         key = str(payload.get("key", ""))
-        with span("cluster/complete", key=key[:12]):
+        spans_payload = payload.get("spans")
+        span_batch: Optional[List[Dict[str, object]]] = None
+        if isinstance(spans_payload, list):
+            span_batch = [item for item in spans_payload
+                          if isinstance(item, dict)]
+        with span("cluster/complete", key=key[:12]) as sp:
             verdict = self.table.complete(
                 str(payload.get("worker_id", "")),
-                str(payload.get("lease_id", "")), key, result_payload)
+                str(payload.get("lease_id", "")), key, result_payload,
+                spans=span_batch)
+            self._tag_span(sp, verdict.pop("trace", None))
         if verdict.get("accepted") and self.cache is not None:
             # first-writer-wins on disk too: a duplicate completion
             # that lost the race above never rewrites the cache entry,
@@ -257,23 +302,31 @@ class Coordinator:
         jobs = payload.get("jobs")
         if not isinstance(jobs, list):
             raise ClusterError("submit: missing jobs list")
+        trace_wire = payload.get("trace")
+        trace_ctx = (tracectx.from_wire(trace_wire)
+                     if isinstance(trace_wire, dict) else None)
         keys = []
-        with span("cluster/submit", jobs=len(jobs)):
-            for encoded in jobs:
-                job = decode_job(encoded)
-                key = job.cache_key()
-                if key is None:
-                    raise ClusterError(
-                        "submit: job has no cache key (raw programs and "
-                        "checksum-less shards run on the local backend)")
-                keys.append(key)
-            cached: Dict[str, Dict[str, object]] = {}
-            if self.cache is not None:
-                for key in keys:
-                    hit = self.cache.get(key)
-                    if hit is not None:
-                        cached[key] = hit.to_json_dict()
-            batch_id, stats = self.table.submit(jobs, keys, cached)
+        # the submitter's context makes the coordinator's own spans
+        # (submit, and the cache probes inside) part of the sweep trace
+        with tracectx.activate(trace_ctx):
+            with span("cluster/submit", jobs=len(jobs)):
+                for encoded in jobs:
+                    job = decode_job(encoded)
+                    key = job.cache_key()
+                    if key is None:
+                        raise ClusterError(
+                            "submit: job has no cache key (raw programs and "
+                            "checksum-less shards run on the local backend)")
+                    keys.append(key)
+                cached: Dict[str, Dict[str, object]] = {}
+                if self.cache is not None:
+                    for key in keys:
+                        hit = self.cache.get(key)
+                        if hit is not None:
+                            cached[key] = hit.to_json_dict()
+                batch_id, stats = self.table.submit(
+                    jobs, keys, cached,
+                    trace=trace_wire if trace_ctx is not None else None)
         self._track_peaks()
         return {"batch_id": batch_id, "submitted": len(jobs), **stats}
 
@@ -288,7 +341,40 @@ class Coordinator:
     def batch_status(self, batch_id: str) -> Dict[str, object]:
         status = self.table.batch_status(batch_id)
         status["workers_alive"] = self.table.workers_alive()
+        if status.get("done") and isinstance(status.get("trace"), dict):
+            # piggyback the coordinator's own spans for this trace on
+            # the final poll, so the submitter's merged trace covers
+            # submit/lease/complete scheduling time too
+            ctx = tracectx.from_wire(status["trace"])
+            if ctx is not None:
+                own = [item.to_json_dict() for item in recorder.records()
+                       if item.trace_id == ctx.trace_id]
+                merged = status.get("spans")
+                status["spans"] = (merged if isinstance(merged, list)
+                                   else []) + own
         return status
+
+    def healthz(self) -> Dict[str, object]:
+        """Liveness/readiness snapshot (the service has the same shape)."""
+        return {
+            "ok": True,
+            "draining": self._draining,
+            "workers_alive": self.table.workers_alive(),
+            "queue_depth": self.table.queue_depth(),
+            "uptime_s": round(time.time() - self._started_ts, 3),
+        }
+
+    def metricz(self) -> str:
+        """Prometheus text exposition of the fleet metrics snapshot."""
+        stats = self.table.stats()
+        return prom.render_prometheus(
+            self.metrics_snapshot(),
+            extra_gauges={
+                "cluster.uptime_s": round(time.time() - self._started_ts, 3),
+                "cluster.draining": 1.0 if self._draining else 0.0,
+                "cluster.workers_alive": self.table.workers_alive(),
+                "cluster.jobs_total": stats["jobs"]["total"],  # type: ignore[index]
+            })
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """Cluster state as a mergeable metrics snapshot.

@@ -46,13 +46,17 @@ from repro.errors import ClusterError
 #: Job lifecycle states.
 PENDING, LEASED, DONE, FAILED = "pending", "leased", "done", "failed"
 
+#: Cap on the span batch one ``complete`` may attach — a runaway worker
+#: cannot balloon coordinator memory; overflow is counted, not fatal.
+MAX_SPANS_PER_JOB = 512
+
 
 class JobRecord:
     """One keyed job and everything the coordinator knows about it."""
 
     __slots__ = ("key", "payload", "status", "attempts", "steals",
                  "not_before", "lease_id", "worker", "deadline",
-                 "result", "error", "from_cache")
+                 "result", "error", "from_cache", "trace", "spans")
 
     def __init__(self, key: str, payload: Dict[str, object]) -> None:
         self.key = key
@@ -67,6 +71,11 @@ class JobRecord:
         self.result: Optional[Dict[str, object]] = None
         self.error: Optional[str] = None
         self.from_cache = False    # resolved by the coordinator's cache
+        #: Wire-form trace context the submitter attached (repro.obs),
+        #: handed to workers with the lease grant.
+        self.trace: Optional[Dict[str, object]] = None
+        #: Span batch the completing worker shipped back.
+        self.spans: Optional[List[Dict[str, object]]] = None
 
 
 class WorkerInfo:
@@ -102,6 +111,7 @@ class LeaseTable:
         self._records: Dict[str, JobRecord] = {}
         self._queue: Deque[str] = collections.deque()
         self._batches: Dict[str, List[str]] = {}
+        self._batch_traces: Dict[str, Dict[str, object]] = {}
         self._workers: Dict[str, WorkerInfo] = {}
         #: Robustness counters, exported through the coordinator's
         #: metrics snapshot (docs/observability.md).
@@ -140,6 +150,7 @@ class LeaseTable:
         payloads: Sequence[Dict[str, object]],
         keys: Sequence[str],
         cached: Optional[Dict[str, Dict[str, object]]] = None,
+        trace: Optional[Dict[str, object]] = None,
     ) -> Tuple[str, Dict[str, int]]:
         """Enqueue one batch of keyed job payloads.
 
@@ -147,7 +158,11 @@ class LeaseTable:
         resolved from the result cache to their result payloads; those
         records are born DONE and never reach the queue. Keys already
         known to the table — in flight or finished — are coalesced, not
-        re-queued. Returns ``(batch_id, stats)``.
+        re-queued. ``trace`` is the submitter's wire-form trace context;
+        it rides on new records (a coalesced record keeps the trace of
+        whoever submitted it first) and names the batch's trace for
+        span merging in :meth:`batch_status`. Returns
+        ``(batch_id, stats)``.
         """
         if len(payloads) != len(keys):
             raise ClusterError("submit: payloads and keys length mismatch")
@@ -166,6 +181,7 @@ class LeaseTable:
                     stats["coalesced"] += 1
                     continue
                 record = JobRecord(key, payload)
+                record.trace = trace
                 self._records[key] = record
                 hit = cached.get(key)
                 if hit is not None:
@@ -177,6 +193,8 @@ class LeaseTable:
                     self._queue.append(key)
                     stats["enqueued"] += 1
             self._batches[batch_id] = order
+            if trace is not None:
+                self._batch_traces[batch_id] = trace
             self.counts["submitted"] += len(order)
             self.counts["coalesced"] += stats["coalesced"]
             self.counts["cache_resolved"] += stats["cache_resolved"]
@@ -251,13 +269,16 @@ class LeaseTable:
             granted.attempts += 1
             info.leases += 1
             self.counts["leases"] += 1
-            return {
+            grant: Dict[str, object] = {
                 "lease_id": granted.lease_id,
                 "key": granted.key,
                 "job": granted.payload,
                 "deadline_s": round(self.lease_timeout_s, 3),
                 "attempt": granted.attempts,
             }
+            if granted.trace is not None:
+                grant["trace"] = granted.trace
+            return grant
 
     def heartbeat(self, worker_id: str,
                   lease_ids: Sequence[str]) -> List[str]:
@@ -280,14 +301,20 @@ class LeaseTable:
             return lost
 
     def complete(self, worker_id: str, lease_id: str, key: str,
-                 result: Dict[str, object]) -> Dict[str, object]:
+                 result: Dict[str, object],
+                 spans: Optional[List[Dict[str, object]]] = None,
+                 ) -> Dict[str, object]:
         """First-writer-wins result acceptance, idempotent on ``key``.
 
         A completion for an unknown key is rejected; a completion for a
         DONE key is a counted duplicate (the late-result path of the
         chaos tests); anything else is accepted — even when the lease
         was stolen meanwhile, because an identical deterministic result
-        arriving early is a win, not a conflict.
+        arriving early is a win, not a conflict. ``spans`` is the
+        worker's span batch for the job (repro.obs): it rides on the
+        accepted record, capped at :data:`MAX_SPANS_PER_JOB`, and is
+        dropped with a duplicate/rejected completion so a late or
+        stolen-lease worker can never pollute a merged trace.
         """
         now = self.clock()
         with self._lock:
@@ -307,6 +334,12 @@ class LeaseTable:
             record.result = result
             record.lease_id = None
             record.worker = worker_id
+            if spans:
+                if len(spans) > MAX_SPANS_PER_JOB:
+                    self.counts["spans_dropped"] += \
+                        len(spans) - MAX_SPANS_PER_JOB
+                    spans = spans[:MAX_SPANS_PER_JOB]
+                record.spans = spans
             self.counts["completed"] += 1
             if info is not None:
                 info.jobs_done += 1
@@ -315,7 +348,11 @@ class LeaseTable:
                         result.get("wall_time_s", 0.0) or 0.0)
                 except (TypeError, ValueError):
                     pass
-            return {"accepted": True, "duplicate": False}
+            verdict: Dict[str, object] = {"accepted": True,
+                                          "duplicate": False}
+            if record.trace is not None:
+                verdict["trace"] = record.trace
+            return verdict
 
     def fail(self, worker_id: str, lease_id: str, key: str,
              error: str) -> Dict[str, object]:
@@ -383,6 +420,14 @@ class LeaseTable:
                 status["results"] = [r.result if r.status is DONE else None
                                      for r in records]
                 status["errors"] = failed
+                trace = self._batch_traces.get(batch_id)
+                if trace is not None:
+                    status["trace"] = trace
+                    merged: List[Dict[str, object]] = []
+                    for record in records:
+                        if record.spans:
+                            merged.extend(record.spans)
+                    status["spans"] = merged
             return status
 
     def queue_depth(self) -> int:

@@ -192,10 +192,16 @@ class ClusterClient:
                           "lease_ids": list(lease_ids)})
 
     def complete(self, worker_id: str, lease_id: str, key: str,
-                 result: JobResult) -> Dict[str, object]:
-        return self.call("/api/complete",
-                         {"worker_id": worker_id, "lease_id": lease_id,
-                          "key": key, "result": encode_result(result)})
+                 result: JobResult,
+                 spans: Optional[list] = None) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "worker_id": worker_id, "lease_id": lease_id,
+            "key": key, "result": encode_result(result)}
+        if spans:
+            # additive field: a version-1 coordinator that predates
+            # tracing simply ignores it
+            payload["spans"] = spans
+        return self.call("/api/complete", payload)
 
     def fail(self, worker_id: str, lease_id: str, key: str,
              error: str) -> Dict[str, object]:
@@ -203,10 +209,15 @@ class ClusterClient:
                          {"worker_id": worker_id, "lease_id": lease_id,
                           "key": key, "error": error})
 
-    def submit(self, jobs) -> Dict[str, object]:
-        return self.call("/api/submit",
-                         {"version": PROTOCOL_VERSION,
-                          "jobs": [encode_job(job) for job in jobs]})
+    def submit(self, jobs,
+               trace: Optional[Dict[str, object]] = None,
+               ) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "version": PROTOCOL_VERSION,
+            "jobs": [encode_job(job) for job in jobs]}
+        if trace:
+            payload["trace"] = trace  # additive, see complete()
+        return self.call("/api/submit", payload)
 
     def batch(self, batch_id: str) -> Dict[str, object]:
         return self.call(f"/api/batch/{batch_id}")
@@ -216,3 +227,19 @@ class ClusterClient:
 
     def shutdown(self) -> Dict[str, object]:
         return self.call("/api/shutdown", {})
+
+    def metricz(self) -> str:
+        """Fetch ``/metricz`` raw — Prometheus text, not JSON, so it
+        bypasses :meth:`call`'s JSON decoding."""
+        url = f"{self.base_url}/metricz"
+        try:
+            with urllib.request.urlopen(
+                    urllib.request.Request(url, method="GET"),
+                    timeout=self.timeout_s) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ClusterError(f"coordinator rejected /metricz: "
+                               f"HTTP {error.code}")
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            raise ClusterUnavailable(
+                f"coordinator unreachable at {self.base_url}: {error}")

@@ -40,11 +40,14 @@ import threading
 import time
 from typing import Dict, Optional, Union
 
+from repro.cluster.leases import MAX_SPANS_PER_JOB
 from repro.cluster.protocol import ClusterClient, decode_job
 from repro.cluster.retry import RetryPolicy
 from repro.core.executor import ResultCache, run_job
 from repro.errors import ClusterError, ClusterUnavailable
+from repro.obs import context as tracectx
 from repro.telemetry import span
+from repro.telemetry.spans import Span, recorder
 
 
 @dataclasses.dataclass(frozen=True)
@@ -195,23 +198,40 @@ class ClusterWorker:
             return
         with self._lease_lock:
             self._active_lease = lease_id
+        # rebuild the submitter's trace context from the lease grant and
+        # collect every span this job records, so the batch can ride the
+        # complete payload home; a SIGKILLed worker simply never sends
+        # its batch — partial spans die with the process, the merged
+        # trace stays clean
+        ctx = tracectx.from_wire(grant.get("trace"))
+        collected: list = []
+        token: Optional[int] = None
+        if ctx is not None:
+
+            def _collect(item: Span) -> None:
+                if (item.trace_id == ctx.trace_id
+                        and len(collected) < MAX_SPANS_PER_JOB):
+                    collected.append(item.to_json_dict())
+
+            token = recorder.subscribe(_collect)
         try:
-            with span("cluster/job", key=key[:12], worker=self.name):
-                cached = self.cache.get(key) if self.cache is not None \
-                    else None
-                if cached is not None:
-                    result = dataclasses.replace(cached, from_cache=True)
-                    self.stats["cache_hits"] += 1
-                else:
-                    job = decode_job(grant["job"])  # type: ignore[arg-type]
-                    if self.chaos.kill_midjob is not None \
-                            and leased_so_far >= self.chaos.kill_midjob:
-                        # die the hard way: no cleanup, no goodbye — the
-                        # lease must expire and the job must be stolen
-                        os.kill(os.getpid(), signal.SIGKILL)
-                    result = run_job(job)
-                    if self.chaos.slow_s > 0.0:
-                        time.sleep(self.chaos.slow_s)
+            with tracectx.activate(ctx):
+                with span("cluster/job", key=key[:12], worker=self.name):
+                    cached = self.cache.get(key) if self.cache is not None \
+                        else None
+                    if cached is not None:
+                        result = dataclasses.replace(cached, from_cache=True)
+                        self.stats["cache_hits"] += 1
+                    else:
+                        job = decode_job(grant["job"])  # type: ignore[arg-type]
+                        if self.chaos.kill_midjob is not None \
+                                and leased_so_far >= self.chaos.kill_midjob:
+                            # die the hard way: no cleanup, no goodbye — the
+                            # lease must expire and the job must be stolen
+                            os.kill(os.getpid(), signal.SIGKILL)
+                        result = run_job(job)
+                        if self.chaos.slow_s > 0.0:
+                            time.sleep(self.chaos.slow_s)
         except ClusterError as error:
             self.stats["failures"] += 1
             self._call_safely(lambda: self.client.fail(
@@ -224,10 +244,13 @@ class ClusterWorker:
                 f"{type(error).__name__}: {error}"))
             return
         finally:
+            if token is not None:
+                recorder.unsubscribe(token)
             with self._lease_lock:
                 self._active_lease = None
         self._call_safely(lambda: self.client.complete(
-            self.worker_id or "", lease_id, key, result))
+            self.worker_id or "", lease_id, key, result,
+            spans=collected or None))
         self.stats["jobs"] += 1
 
     def _call_safely(self, call) -> None:

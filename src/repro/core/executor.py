@@ -70,9 +70,13 @@ from repro.core.experiment import (
 from repro.errors import ClusterUnavailable, ConfigError
 from repro.fastsim.batch import replay_shard_batched
 from repro.isa.program import Program
+from repro.obs import context as tracectx
+from repro.obs.capture import TraceCapture
+from repro.obs.store import TraceStore
 from repro.stats.counters import Counter, Rate
 from repro.telemetry import MetricsRegistry, RunLedger, span
 from repro.telemetry import state as telemetry_state
+from repro.telemetry.spans import Span, recorder
 from repro.trace.replay import TraceShardSpec, replay_shard
 
 #: Engines a job may name: the three simulator families, their
@@ -371,6 +375,34 @@ def run_job(job: ExperimentJob) -> JobResult:
         result = _dispatch_job(job)
     return dataclasses.replace(
         result, wall_time_s=time.perf_counter() - started, from_cache=False)
+
+
+def _run_job_traced(job: ExperimentJob, wire: Dict[str, object],
+                    ) -> "tuple[JobResult, List[Dict[str, object]]]":
+    """Pool-worker entry point when trace propagation is active.
+
+    Rebuilds the submitter's trace context from its wire form, runs the
+    job under it, and returns every span recorded for that trace along
+    with the result — the pool equivalent of a cluster worker attaching
+    its span batch to a ``complete`` payload. Module-level so
+    spawn-based platforms can pickle it, like :func:`run_job`.
+    """
+    ctx = tracectx.from_wire(wire)
+    if ctx is None:
+        return run_job(job), []
+    collected: List[Dict[str, object]] = []
+
+    def _collect(item: Span) -> None:
+        if item.trace_id == ctx.trace_id:
+            collected.append(item.to_json_dict())
+
+    token = recorder.subscribe(_collect)
+    try:
+        with tracectx.activate(ctx):
+            result = run_job(job)
+    finally:
+        recorder.unsubscribe(token)
+    return result, collected
 
 
 def _dispatch_job(job: ExperimentJob) -> JobResult:
@@ -681,6 +713,10 @@ class SweepExecutor:
         #: Last sweep's ledger entry and deterministic metrics registry.
         self.last_entry: Optional[Dict[str, object]] = None
         self.last_metrics: Optional[MetricsRegistry] = None
+        #: Active trace capture while a sweep is in flight (see
+        #: repro.obs.capture); the last sweep's trace id survives it.
+        self._capture: Optional[TraceCapture] = None
+        self.last_trace_id: Optional[str] = None
 
     def _telemetry_on(self) -> bool:
         if self.telemetry_enabled is not None:
@@ -697,24 +733,43 @@ class SweepExecutor:
                 return self._run_all(jobs)
         return self._run_all(jobs)
 
+    def _trace_store(self) -> Optional[TraceStore]:
+        """Where this executor persists merged traces (beside the
+        ledger), or ``None`` without a durable cache root."""
+        if self.cache is None:
+            return None
+        return TraceStore.at_cache_root(self.cache.base_root)
+
     def _run_all(self, jobs: List[ExperimentJob]) -> List[JobResult]:
         started = time.perf_counter()
         self.last_cluster = None
         hits_before, misses_before = self.cache_hits, self.cache_misses
-        with span("sweep/run", workers=self.jobs,
-                  submitted=len(jobs)) as sweep_span:
-            results = self._resolve(jobs)
-            if sweep_span is not None:
-                sweep_span.set(cache_hits=self.cache_hits - hits_before,
-                               cache_misses=self.cache_misses - misses_before)
-        wall = time.perf_counter() - started
-        self.wall_time_s += wall
-        if jobs and telemetry_state.enabled():
-            self._record_run(jobs, results,
-                             hits=self.cache_hits - hits_before,
-                             misses=self.cache_misses - misses_before,
-                             wall=wall)
-        return results
+        capture = TraceCapture.begin(self._trace_store())
+        self._capture = capture
+        if capture is not None:
+            self.last_trace_id = capture.trace_id
+        try:
+            with span("sweep/run", workers=self.jobs,
+                      submitted=len(jobs)) as sweep_span:
+                results = self._resolve(jobs)
+                if sweep_span is not None:
+                    sweep_span.set(
+                        cache_hits=self.cache_hits - hits_before,
+                        cache_misses=self.cache_misses - misses_before)
+            if capture is not None:
+                capture.seal()
+            wall = time.perf_counter() - started
+            self.wall_time_s += wall
+            if jobs and telemetry_state.enabled():
+                self._record_run(jobs, results,
+                                 hits=self.cache_hits - hits_before,
+                                 misses=self.cache_misses - misses_before,
+                                 wall=wall, capture=capture)
+            return results
+        finally:
+            self._capture = None
+            if capture is not None:
+                capture.close()
 
     def _resolve(self, jobs: List[ExperimentJob]) -> List[JobResult]:
         results: List[Optional[JobResult]] = [None] * len(jobs)
@@ -804,7 +859,8 @@ class SweepExecutor:
 
     def _record_run(self, jobs: List[ExperimentJob],
                     results: List[JobResult],
-                    hits: int, misses: int, wall: float) -> None:
+                    hits: int, misses: int, wall: float,
+                    capture: Optional[TraceCapture] = None) -> None:
         registry = self.sweep_metrics(jobs, results)
         self.last_metrics = registry
         telemetry.metrics().merge(registry.snapshot())
@@ -842,6 +898,15 @@ class SweepExecutor:
             # of a cluster sweep stays bit-identical to the serial one
             entry["cluster"] = cluster
             self.last_cluster = None
+        if capture is not None:
+            # trace identity and the optional sampling profile are run
+            # artifacts, not results — both sit behind
+            # NONDETERMINISTIC_KEYS so deterministic_view is identical
+            # with tracing on or off (asserted in tests)
+            entry["trace_id"] = capture.trace_id
+            profile = capture.profile_summary()
+            if profile is not None:
+                entry["profile"] = profile
         if self.ledger is not None:
             entry = self.ledger.append(entry)
             run_id = entry.get("run_id")
@@ -903,6 +968,11 @@ class SweepExecutor:
 
         remote, summary = run_jobs_on_cluster(
             jobs, cache=self.cache, coordinator_url=self.coordinator_url)
+        # worker/coordinator span batches ride the batch status home;
+        # they merge into the capture, not the ledger entry
+        spans = summary.pop("spans", None)
+        if self._capture is not None:
+            self._capture.add_spans(spans)
         self.last_cluster = summary
         return [result if result is not None else run_job(job)
                 for job, result in zip(jobs, remote)]
@@ -931,6 +1001,12 @@ class SweepExecutor:
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending = list(range(len(jobs)))
         attempt = 0
+        # ship the trace context to pool workers so their sweep/job
+        # spans come home with the results (fork inherits the recorder
+        # but forked rings never flow back; explicit return does)
+        ctx = tracectx.current()
+        wire = (tracectx.to_wire(ctx)
+                if ctx is not None and self._capture is not None else None)
         while pending:
             attempt += 1
             broken: List[int] = []
@@ -938,14 +1014,23 @@ class SweepExecutor:
                 futures: Dict[int, concurrent.futures.Future] = {}
                 for index in pending:
                     try:
-                        futures[index] = pool.submit(run_job, jobs[index])
+                        if wire is None:
+                            futures[index] = pool.submit(run_job, jobs[index])
+                        else:
+                            futures[index] = pool.submit(
+                                _run_job_traced, jobs[index], wire)
                     except (concurrent.futures.process.BrokenProcessPool,
                             concurrent.futures.BrokenExecutor,
                             RuntimeError):
                         broken.append(index)
                 for index, future in futures.items():
                     try:
-                        results[index] = future.result()
+                        outcome = future.result()
+                        if wire is not None and isinstance(outcome, tuple):
+                            outcome, spans = outcome
+                            if self._capture is not None:
+                                self._capture.add_spans(spans)
+                        results[index] = outcome
                     except (concurrent.futures.process.BrokenProcessPool,
                             concurrent.futures.BrokenExecutor):
                         broken.append(index)

@@ -9,6 +9,13 @@ into three live panels:
   wall time once done.
 * **Event log** — the raw progress stream, newest first, capped
   client-side.
+* **Trace waterfall** — the most recently active job's telemetry spans
+  (the same ``progress`` events the log shows) laid out as horizontal
+  bars on the job's own timeline: a live, approximate cousin of
+  ``repro-sim trace show``. Span start is inferred client-side as
+  arrival-time minus duration (events fire when a span *closes*), so
+  bars are honest about duration and close-order, approximate about
+  absolute offsets.
 * **Service** — ``/healthz`` + the queue/cache/ledger numbers from
   ``/metricz``, refreshed on a timer.
 
@@ -39,6 +46,16 @@ DASHBOARD_HTML = """<!DOCTYPE html>
          background: #0d1117; padding: .6rem; border: 1px solid #2d333b; }
   #health span { margin-right: 1.2rem; }
   .drain { color: #e3b341; }
+  #trace { background: #0d1117; padding: .6rem; border: 1px solid #2d333b; }
+  #trace .row { display: flex; align-items: center; height: 1.2rem; }
+  #trace .lbl { width: 13rem; overflow: hidden; text-overflow: ellipsis;
+                white-space: nowrap; color: #8b949e; flex: none; }
+  #trace .lane { position: relative; flex: 1; height: .7rem; }
+  #trace .bar { position: absolute; height: 100%; border-radius: 2px;
+                background: #1f4e8c; min-width: 2px; }
+  #trace .bar.sweep { background: #1f6f43; }
+  #trace .bar.cache { background: #8c6d1f; }
+  #tracehdr { color: #8b949e; margin-bottom: .3rem; }
 </style>
 </head>
 <body>
@@ -51,6 +68,9 @@ DASHBOARD_HTML = """<!DOCTYPE html>
 </tr></thead><tbody></tbody></table>
 <h2>Event log</h2>
 <div id="log"></div>
+<h2>Trace waterfall</h2>
+<div id="trace"><div id="tracehdr">waiting for spans&hellip;</div>
+<div id="tracerows"></div></div>
 <h2>Service</h2>
 <table id="svc"><tbody></tbody></table>
 <script>
@@ -101,6 +121,7 @@ feed.addEventListener("progress", e => {
   const ev = JSON.parse(e.data);
   touch(ev.job, {});
   logLine(`${ev.job} ${ev.span} ${ev.ms}ms`);
+  traceSpan(ev);
 });
 feed.addEventListener("done", e => {
   const ev = JSON.parse(e.data);
@@ -114,6 +135,43 @@ feed.addEventListener("failed", e => {
   logLine(`${ev.job} FAILED: ${ev.error}`);
 });
 feed.onerror = () => logLine("event stream interrupted");
+
+// -- trace waterfall: spans of the most recently active job ----------
+const traces = new Map();   // job id -> [{name, start_s, ms}, ...]
+const MAX_TRACE_SPANS = 60;
+let traceJob = null;
+
+function traceSpan(ev) {
+  // a progress event fires when a span closes; ev.ts is the server's
+  // wall-clock stamp, so start = ts - duration on the job's own axis
+  if (!traces.has(ev.job)) traces.set(ev.job, []);
+  const spans = traces.get(ev.job);
+  spans.push({ name: ev.span, end_s: ev.ts, ms: ev.ms || 0 });
+  if (spans.length > MAX_TRACE_SPANS) spans.shift();
+  traceJob = ev.job;
+  renderTrace();
+}
+
+function renderTrace() {
+  const spans = traces.get(traceJob) || [];
+  if (!spans.length) return;
+  const t0 = Math.min(...spans.map(s => s.end_s - s.ms / 1000));
+  const t1 = Math.max(...spans.map(s => s.end_s));
+  const extent = Math.max(t1 - t0, 1e-6);
+  document.getElementById("tracehdr").textContent =
+    `job ${traceJob} · ${spans.length} spans · ` +
+    `${(extent * 1000).toFixed(1)}ms window`;
+  document.getElementById("tracerows").innerHTML = spans.map(s => {
+    const left = ((s.end_s - s.ms / 1000 - t0) / extent * 100).toFixed(2);
+    const width = Math.max(s.ms / 1000 / extent * 100, 0.3).toFixed(2);
+    const cls = s.name.startsWith("sweep/") ? "sweep"
+              : s.name.startsWith("cache/") ? "cache" : "";
+    return `<div class="row"><div class="lbl" title="${s.name}">` +
+      `${s.name} ${s.ms.toFixed(1)}ms</div><div class="lane">` +
+      `<div class="bar ${cls}" style="left:${left}%;width:${width}%">` +
+      `</div></div></div>`;
+  }).join("");
+}
 
 function renderHealth(h) {
   document.getElementById("health").innerHTML =

@@ -43,7 +43,6 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-import sys
 import threading
 import time
 from typing import Dict, Mapping, Optional, Tuple
@@ -51,10 +50,15 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro import telemetry
 from repro.errors import ServiceError, TelemetryError
+from repro.obs import context as tracectx
+from repro.obs import prom
+from repro.obs.log import logger
 from repro.service.core import SimulationService, normalize_request
 from repro.service.dashboard import dashboard_html
 from repro.service.queue import JobQueue, SweepJob
 from repro.service.ratelimit import TenantLimiter
+
+log = logger("service")
 
 #: Hard request-framing limits (this is an ops endpoint, not a proxy).
 MAX_BODY_BYTES = 1 << 20
@@ -147,8 +151,9 @@ class ServiceServer:
     async def serve_forever(self) -> None:
         """Start, announce, serve until stopped (drain or ``stop()``)."""
         await self.start()
-        print(f"service listening at http://{self.host}:{self.port}",
-              file=sys.stderr, flush=True)
+        # the URL stays inside the event string: scripts (and the CI
+        # smoke job) discover ephemeral ports by parsing this exact line
+        log.info(f"listening at http://{self.host}:{self.port}")
         loop = asyncio.get_event_loop()
         try:
             loop.add_signal_handler(signal.SIGTERM, self.request_drain)
@@ -210,7 +215,18 @@ class ServiceServer:
         elif path == "/healthz" and method == "GET":
             await _send_json(writer, 200, self._healthz())
         elif path == "/metricz" and method == "GET":
-            await _send_json(writer, 200, self._metricz())
+            # JSON stays the default shape (scripts assert on its
+            # fields); Prometheus text is opt-in via ?format=prom or an
+            # Accept header that prefers text/plain
+            accept = headers.get("accept", "")
+            if (query.get("format", [""])[0] == "prom"
+                    or ("text/plain" in accept
+                        and "application/json" not in accept)):
+                await _send_response(writer, 200,
+                                     self._metricz_prom().encode(),
+                                     prom.CONTENT_TYPE)
+            else:
+                await _send_json(writer, 200, self._metricz())
         elif path == "/v1/sweeps" and method == "POST":
             await self._submit(headers, body, writer)
         elif path == "/v1/sweeps" and method == "GET":
@@ -276,6 +292,19 @@ class ServiceServer:
         payload.update(self.service.overview())
         return payload
 
+    def _metricz_prom(self) -> str:
+        """The same numbers as ``_metricz``, as Prometheus text."""
+        stats = self.queue.stats()
+        extra: Dict[str, float] = {
+            "service.uptime_s": time.time() - self.started_ts,
+            "service.draining": float(self.draining),
+        }
+        for key, value in stats.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                extra[f"service.queue.{key}"] = float(value)
+        return prom.render_prometheus(telemetry.metrics().snapshot(),
+                                      extra_gauges=extra)
+
     async def _submit(self, headers: Dict[str, str], body: bytes,
                       writer: asyncio.StreamWriter) -> None:
         if self.draining:
@@ -296,12 +325,22 @@ class ServiceServer:
                 raise HttpError(
                     429, f"tenant {tenant!r} over {reason} limit",
                     {"Retry-After": str(max(1, int(retry_after + 0.999)))})
-        job, created = self.queue.submit(request, tenant=tenant)
+        # W3C-style trace propagation: a submitter carrying a
+        # ``traceparent`` joins the job to its trace; otherwise the
+        # queue mints a fresh root. Coalesced submits keep the first
+        # submitter's trace, so the echoed traceparent may differ.
+        trace = tracectx.parse_traceparent(headers.get("traceparent"))
+        job, created = self.queue.submit(request, tenant=tenant, trace=trace)
         if created:
             self.limiter.job_started(tenant)
         descriptor = job.descriptor(include_result=job.finished)
         descriptor["coalesced"] = not created
-        await _send_json(writer, 200 if job.finished else 202, descriptor)
+        extra: Dict[str, str] = {}
+        traceparent = job.traceparent()
+        if traceparent is not None:
+            extra["traceparent"] = traceparent
+        await _send_json(writer, 200 if job.finished else 202, descriptor,
+                         extra or None)
 
     async def _runs_list(self, query: Dict[str, list],
                          writer: asyncio.StreamWriter) -> None:

@@ -37,7 +37,10 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.obs import context as tracectx
+from repro.obs.store import TraceStore
 from repro.service.core import SimulationService, SweepOutcome, SweepRequest
+from repro.telemetry import state as telemetry_state
 from repro.telemetry.spans import Span, recorder
 
 #: Span names translated into progress events (the rest are noise at
@@ -62,7 +65,8 @@ class SweepJob:
     """One coalesced unit of sweep work and its event history."""
 
     def __init__(self, job_id: str, key: str, request: SweepRequest,
-                 tenant: str) -> None:
+                 tenant: str,
+                 trace: Optional[tracectx.TraceContext] = None) -> None:
         self.id = job_id
         self.key = key
         self.request = request
@@ -70,12 +74,28 @@ class SweepJob:
         self.state = "queued"
         #: How many submits this job absorbed (1 = never coalesced).
         self.submits = 1
+        #: Trace identity for the whole HTTP job (repro.obs): the
+        #: context the submitter propagated via ``traceparent``, or a
+        #: fresh root. ``span_id`` is reserved up front so the submit
+        #: response can emit a ``traceparent`` before execution starts.
+        self.trace = trace
+        self.span_id = tracectx.new_span_id() if trace is not None else None
         self.created_ts = time.time()
         self.started_ts: Optional[float] = None
         self.finished_ts: Optional[float] = None
         self.outcome: Optional[SweepOutcome] = None
         self.error: Optional[str] = None
         self.events: List[Dict[str, object]] = []
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.trace_id if self.trace is not None else None
+
+    def traceparent(self) -> Optional[str]:
+        if self.trace is None or self.span_id is None:
+            return None
+        return tracectx.format_traceparent(
+            tracectx.TraceContext(self.trace.trace_id, self.span_id))
 
     @property
     def finished(self) -> bool:
@@ -97,6 +117,8 @@ class SweepJob:
                             else round(self.finished_ts, 3)),
             "events": len(self.events),
         }
+        if self.trace is not None:
+            payload["trace_id"] = self.trace.trace_id
         if self.error is not None:
             payload["error"] = self.error
         if include_result and self.outcome is not None:
@@ -161,12 +183,18 @@ class JobQueue:
     # -- submission -----------------------------------------------------
 
     def submit(self, request: SweepRequest,
-               tenant: str = "anonymous") -> Tuple[SweepJob, bool]:
+               tenant: str = "anonymous",
+               trace: Optional[tracectx.TraceContext] = None,
+               ) -> Tuple[SweepJob, bool]:
         """Admit one request; returns ``(job, created)``.
 
         ``created=False`` means the submit coalesced onto an existing
         job (in any state — a finished job is a warm hit served without
-        touching the engine at all).
+        touching the engine at all). ``trace`` is the submitter's
+        propagated context (from a ``traceparent`` header); with none
+        given a fresh trace root is minted when tracing is on. A
+        coalesced submit keeps the first submitter's trace — one job,
+        one trace, however many submits it absorbed.
         """
         assert self._loop is not None, "JobQueue.bind() must run first"
         self.counters["requests"] += 1
@@ -176,7 +204,10 @@ class JobQueue:
             job.submits += 1
             self.counters["coalesced"] += 1
             return job, False
-        job = SweepJob(key[:JOB_ID_LEN], key, request, tenant)
+        if (trace is None and telemetry_state.enabled()
+                and tracectx.tracing_enabled()):
+            trace = tracectx.TraceContext(tracectx.new_trace_id(), "")
+        job = SweepJob(key[:JOB_ID_LEN], key, request, tenant, trace=trace)
         self.jobs[key] = job
         self.by_id[job.id] = job
         self.order.append(job)
@@ -257,11 +288,39 @@ class JobQueue:
         loop.call_soon_threadsafe(
             self.publish, job, {"event": "state", "state": "running"})
         job.state = "running"
-        token = recorder.subscribe(on_span)
+        # owner binding: if this worker thread dies without reaching the
+        # finally (pool torn down mid-job), the recorder reaps the
+        # subscription instead of leaking it forever
+        token = recorder.subscribe(on_span, owner=threading.current_thread())
+        ctx: Optional[tracectx.TraceContext] = None
+        root: Optional[Span] = None
+        started = time.perf_counter()
+        if (job.trace is not None and job.span_id is not None
+                and telemetry_state.enabled()):
+            # the job's reserved span becomes the parent of everything
+            # the sweep records (the executor's capture joins this
+            # trace instead of minting its own)
+            ctx = tracectx.TraceContext(job.trace.trace_id, job.span_id)
+            root = Span("service/job", {"sweep": job.request.sweep,
+                                        "job": job.id})
+            root.trace_id = job.trace.trace_id
+            root.span_id = job.span_id
+            root.parent_id = job.trace.span_id or None
         try:
-            return self.service.run_sweep(job.request)
+            with tracectx.activate(ctx):
+                return self.service.run_sweep(job.request)
         finally:
             recorder.unsubscribe(token)
+            if root is not None:
+                # recorded after the sweep's own capture closed, so the
+                # root span is appended to the trace store directly
+                root.start_s = started - recorder.epoch
+                root.duration_ms = (time.perf_counter() - started) * 1000.0
+                recorder.record(root)
+                cache = self.service.cache
+                if cache is not None:
+                    TraceStore.at_cache_root(cache.base_root).append(
+                        root.trace_id, [root.to_json_dict()])
 
     # -- events ---------------------------------------------------------
 

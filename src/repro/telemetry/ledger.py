@@ -40,9 +40,12 @@ LEDGER_FILENAME = "ledger.jsonl"
 #: Entry keys that legitimately differ between two runs of the same
 #: sweep: wall-clock identity, timing, and scheduling attribution (the
 #: ``cluster`` block records which worker ran what — honest, but a
-#: property of the fleet, not of the results).
+#: property of the fleet, not of the results). ``trace_id`` and the
+#: sampling ``profile`` (repro.obs) are run artifacts of the same kind:
+#: stripping them keeps deterministic_view bit-identical with tracing
+#: or profiling on or off.
 NONDETERMINISTIC_KEYS = ("run_id", "ts", "utc", "wall_time_s", "sim_time_s",
-                         "cluster")
+                         "cluster", "trace_id", "profile")
 
 Entry = Dict[str, object]
 

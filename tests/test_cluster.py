@@ -417,7 +417,7 @@ class _FlakyPool:
     def __exit__(self, *exc):
         return False
 
-    def submit(self, fn, job):
+    def submit(self, fn, job, *args):
         index = len(self.log[-1])
         self.log[-1].append(job)
         future = concurrent.futures.Future()
@@ -425,7 +425,7 @@ class _FlakyPool:
             future.set_exception(
                 concurrent.futures.process.BrokenProcessPool("chaos"))
         else:
-            future.set_result(fn(job))
+            future.set_result(fn(job, *args))
         return future
 
 

@@ -406,8 +406,11 @@ class TestRunsCli:
 
 class TestOverheadBudget:
     def test_overhead_under_three_percent_on_smoke_sweep(self, tmp_path):
-        """The acceptance budget: telemetry on (spans + metrics + ledger)
-        costs <3% wall time on the scale-0.05 smoke sweep."""
+        """The acceptance budget: telemetry on (spans + metrics + ledger,
+        and trace capture — tracing defaults on) costs <3% wall time on
+        the scale-0.05 smoke sweep."""
+        from repro.obs import context as tracectx
+        assert tracectx.tracing_enabled()
         sizes = (1, 2, 4, 8, 16, 32)
         ledger_path = tmp_path / "ledger.jsonl"
 
