@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import List
 
+from repro.bpred.ras import ChampSimRas
 from repro.config.machine import BranchPredictorConfig
 from repro.config.options import RepairMechanism
 
@@ -72,6 +73,11 @@ def mechanism_costs(
             # extra physical entries plus a next-pointer per entry,
             # relative to the plain circular stack.
             (pool - entries) * address_bits + pool * pool_pointer),
+        MechanismCost(
+            RepairMechanism.CHAMPSIM,
+            # no repair shadow state at all (like NONE); the cost is the
+            # call-size-tracker table — sizes <= 10 fit in 4 bits each.
+            0, ChampSimRas.NUM_CALL_SIZE_TRACKERS * 4),
     ]
 
 

@@ -19,7 +19,13 @@ from repro.bpred.hybrid import HybridPredictor
 from repro.bpred.direction import DIRECTION_KINDS, make_direction_predictor
 from repro.bpred.btb import BranchTargetBuffer
 from repro.bpred.target_cache import TargetCache
-from repro.bpred.ras import BaseRas, CircularRas, LinkedRas, make_ras
+from repro.bpred.ras import (
+    BaseRas,
+    ChampSimRas,
+    CircularRas,
+    LinkedRas,
+    make_ras,
+)
 from repro.bpred.repair import ShadowCheckpointPool
 from repro.bpred.confidence import JrsConfidenceEstimator
 from repro.bpred.predictor import FrontEndPredictor, Prediction
@@ -28,6 +34,7 @@ __all__ = [
     "BaseRas",
     "BimodalPredictor",
     "BranchTargetBuffer",
+    "ChampSimRas",
     "CircularRas",
     "CounterTable",
     "DIRECTION_KINDS",

@@ -37,6 +37,7 @@ from typing import List, Optional, Tuple
 
 from repro.config.options import RepairMechanism
 from repro.errors import ConfigError
+from repro.isa.opcodes import WORD_SIZE
 from repro.stats import StatGroup
 
 #: Opaque checkpoint token; layout is private to each implementation.
@@ -97,6 +98,8 @@ class CircularRas(BaseRas):
         """
         if repair is RepairMechanism.SELF_CHECKPOINT:
             raise ConfigError("SELF_CHECKPOINT requires LinkedRas; use make_ras()")
+        if repair is RepairMechanism.CHAMPSIM:
+            raise ConfigError("CHAMPSIM requires ChampSimRas; use make_ras()")
         if entries < 1:
             raise ConfigError("RAS needs at least one entry")
         if not 1 <= contents_depth <= entries:
@@ -298,10 +301,168 @@ class LinkedRas(BaseRas):
         return result
 
 
+class ChampSimRas(BaseRas):
+    """Port of ChampSim's ``return_stack`` (``btb/basic_btb``).
+
+    Cross-validation target: `repro.corpus.diffcheck` replays traces
+    through this class and an independent straight-line transliteration
+    of the C++ side by side. Three behaviours distinguish it from
+    :class:`CircularRas`:
+
+    * **bounded deque** — a push beyond capacity drops the *oldest*
+      entry (``pop_front``) instead of wrapping over the newest;
+    * **call sites, not return addresses** — the stack stores the call
+      instruction's address, and a prediction adds the learned call
+      instruction size;
+    * **call-size trackers** — a direct-mapped table (indexed by the
+      call site's low bits) learns each call's instruction size at
+      return time, but only when the apparent size is plausible
+      (``<= 10`` bytes, the largest x86 call encoding ChampSim
+      accepts). Returns *below* their call site are counted (and, in
+      ChampSim, warned about) as ``backwards_returns``.
+
+    There is no repair state: like ``NONE``, wrong-path pushes and pops
+    persist, so :meth:`checkpoint`/:meth:`restore` are no-ops. The
+    native API (:meth:`push_call` / :meth:`prediction` /
+    :meth:`calibrate_call_size`) mirrors the C++ exactly; the generic
+    :class:`BaseRas` methods adapt it to engines that push return
+    addresses and pop predictions.
+    """
+
+    #: ChampSim's ``num_call_size_trackers`` (a power of two).
+    NUM_CALL_SIZE_TRACKERS = 1024
+    #: Initial tracker value — ChampSim's x86 default call size, which
+    #: is also this ISA's fixed instruction width.
+    DEFAULT_CALL_SIZE = 4
+    #: Largest apparent call size the calibration accepts, in bytes.
+    MAX_CALL_SIZE = 10
+    #: ChampSim warns about the first ten backwards returns, then stops.
+    BACKWARDS_WARNING_LIMIT = 10
+
+    def __init__(self, entries: int,
+                 num_call_size_trackers: int = NUM_CALL_SIZE_TRACKERS) -> None:
+        if entries < 1:
+            raise ConfigError("RAS needs at least one entry")
+        if num_call_size_trackers < 1 or \
+                num_call_size_trackers & (num_call_size_trackers - 1):
+            raise ConfigError("num_call_size_trackers must be a power of two")
+        super().__init__("ras[champsim]")
+        self.entries = entries
+        self._stack: List[int] = []
+        self._trackers: List[int] = (
+            [self.DEFAULT_CALL_SIZE] * num_call_size_trackers)
+        self._mask = num_call_size_trackers - 1
+        self._backwards = self.stats.counter("backwards_returns")
+        self._calibrations = self.stats.counter("calibrations")
+        self._warnings_left = self.BACKWARDS_WARNING_LIMIT
+
+    # -- native ChampSim API ---------------------------------------------
+    def prediction(self) -> Optional[int]:
+        """Predicted return target: top call site + its learned size.
+
+        ``None`` when the stack is empty (the C++ returns the null
+        address, which likewise never matches a real target).
+        """
+        if not self._stack:
+            return None
+        target = self._stack[-1]
+        return target + self._trackers[target & self._mask]
+
+    def push_call(self, ip: int) -> None:
+        """Record a call instruction's address (C++ ``push``)."""
+        self._pushes.increment()
+        self._stack.append(ip)
+        if len(self._stack) > self.entries:
+            del self._stack[0]  # deque pop_front: drop the oldest
+            self._overflows.increment()
+
+    def calibrate_call_size(self, branch_target: int) -> None:
+        """Consume the top call at return time and learn its size.
+
+        Mirrors the C++ exactly: an empty stack does nothing (counted
+        here as an underflow for diagnostics); a return landing below
+        its call site bumps the backwards counter; the absolute
+        call-to-target distance updates the tracker only when it fits a
+        plausible call encoding (``<= MAX_CALL_SIZE``).
+        """
+        if not self._stack:
+            self._underflows.increment()
+            return
+        self._pops.increment()
+        call_ip = self._stack.pop()
+        if call_ip > branch_target:
+            self._backwards.increment()
+            if self._warnings_left:
+                self._warnings_left -= 1
+            size = call_ip - branch_target
+        else:
+            size = branch_target - call_ip
+        if size <= self.MAX_CALL_SIZE:
+            self._trackers[call_ip & self._mask] = size
+            self._calibrations.increment()
+
+    # -- BaseRas interface -----------------------------------------------
+    def push(self, address: int) -> None:
+        # Generic engines push the fall-through return address
+        # (call + WORD_SIZE); recover the call site it implies.
+        self.push_call(address - WORD_SIZE)
+
+    def pop(self) -> Optional[int]:
+        # Predict-time pop: the resolved target is not known yet, so no
+        # calibration happens (the committed-trace replay path uses the
+        # native API and does calibrate).
+        self._pops.increment()
+        if not self._stack:
+            self._underflows.increment()
+            return None
+        value = self.prediction()
+        self._stack.pop()
+        return value
+
+    def top(self) -> Optional[int]:
+        return self.prediction()
+
+    def checkpoint(self) -> Optional[Checkpoint]:
+        return None  # no repair: nothing to save, like NONE
+
+    def restore(self, token: Optional[Checkpoint]) -> None:
+        if token is None:
+            return
+
+    def clone(self) -> "ChampSimRas":
+        twin = ChampSimRas(self.entries, self._mask + 1)
+        twin._stack = list(self._stack)
+        twin._trackers = list(self._trackers)
+        twin._warnings_left = self._warnings_left
+        return twin
+
+    def logical_entries(self) -> List[int]:
+        # Top-first *predicted return addresses*, the closest analogue
+        # of what the other organisations report.
+        mask = self._mask
+        trackers = self._trackers
+        return [ip + trackers[ip & mask] for ip in reversed(self._stack)]
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def call_size_trackers(self) -> List[int]:
+        """The tracker table (tests and diagnostics only)."""
+        return list(self._trackers)
+
+    @property
+    def backwards_returns(self) -> int:
+        return self._backwards.value
+
+
 def make_ras(entries: int, repair: RepairMechanism,
              self_checkpoint_overprovision: int = 4,
              contents_depth: int = 1) -> BaseRas:
     """Build the stack organisation implied by ``repair``."""
     if repair is RepairMechanism.SELF_CHECKPOINT:
         return LinkedRas(entries, self_checkpoint_overprovision)
+    if repair is RepairMechanism.CHAMPSIM:
+        return ChampSimRas(entries)
     return CircularRas(entries, repair, contents_depth)

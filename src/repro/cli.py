@@ -14,6 +14,10 @@ Examples:
     repro-sim corpus import traces/ champsim.trace.xz --name srv0
     repro-sim corpus replay traces/ --jobs 4 --sizes 1 4 16 64
     repro-sim corpus replay traces/ --engine batch      # fast replay
+    repro-sim corpus fetch benchmarks/tracesets/sample.json --corpus traces/
+    repro-sim corpus fetch benchmarks/tracesets/sample.json --check-manifest
+    repro-sim corpus diffcheck traces/ --report diffreport.json
+    repro-sim corpus report traces/ --engine batch
     repro-sim cluster coordinator --bind 127.0.0.1:8736
     repro-sim cluster worker --coordinator http://127.0.0.1:8736
     repro-sim stack-depth --backend cluster     # sweep through the fleet
@@ -193,6 +197,70 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="disable metrics, spans, and the run ledger")
     c.add_argument("--json", metavar="OUT", default=None,
                    help="also write the table as JSON to OUT")
+
+    def corpus_executor_opts(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--jobs", type=int, default=default_jobs())
+        sp.add_argument("--backend", default=default_backend(),
+                        choices=list(BACKENDS),
+                        help="execution backend (see docs/distributed.md)")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="ignore and don't update the on-disk result "
+                             "cache")
+        sp.add_argument("--no-telemetry", action="store_true",
+                        help="disable metrics, spans, and the run ledger")
+        sp.add_argument("--json", metavar="OUT", default=None,
+                        help="also write the table as JSON to OUT")
+
+    c = csub.add_parser(
+        "fetch",
+        help="download a trace set and ingest it into a corpus "
+             "(docs/validation.md)")
+    c.add_argument("manifest", help="trace-set manifest JSON "
+                                    "(benchmarks/tracesets/*.json)")
+    c.add_argument("--corpus", default=None,
+                   help="corpus directory (created if needed; required "
+                        "unless --check-manifest)")
+    c.add_argument("--dest", default=None,
+                   help="download directory "
+                        "(default: <corpus>/downloads)")
+    c.add_argument("--names", dest="trace_names", nargs="*", default=None,
+                   help="restrict to these trace names (note: trace-set "
+                        "names, not benchmark names)")
+    c.add_argument("--jobs", type=int, default=default_jobs(),
+                   help="parallel ingestion worker processes")
+    c.add_argument("--limit", type=int, default=None,
+                   help="import at most this many records per trace")
+    c.add_argument("--check-manifest", action="store_true",
+                   help="validate the manifest offline (zero network, "
+                        "no corpus needed) and exit")
+
+    c = csub.add_parser(
+        "diffcheck",
+        help="differential replay against the reference ChampSim "
+             "model; exits 1 on any divergence (docs/validation.md)")
+    c.add_argument("corpus")
+    c.add_argument("--mechanism", default="champsim",
+                   choices=[m.value for m in RepairMechanism])
+    c.add_argument("--ras-entries", type=int, default=64)
+    c.add_argument("--shards", nargs="*", default=None,
+                   help="restrict to these shard names")
+    c.add_argument("--report", metavar="OUT", default=None,
+                   help="write the full DiffReport list as JSON to OUT "
+                        "(the CI artifact)")
+    corpus_executor_opts(c)
+
+    c = csub.add_parser(
+        "report",
+        help="corpus-wide headline table: every shard, every "
+             "mechanism (docs/validation.md)")
+    c.add_argument("corpus")
+    c.add_argument("--ras-entries", type=int, default=64)
+    c.add_argument("--engine", default="batch", choices=["trace", "batch"],
+                   help="replay path (identical counters; 'batch' is "
+                        "several times faster)")
+    c.add_argument("--shards", nargs="*", default=None,
+                   help="restrict to these shard names")
+    corpus_executor_opts(c)
 
     p = sub.add_parser("runs",
                        help="inspect the persistent run ledger "
@@ -475,8 +543,12 @@ def _corpus_command(args: argparse.Namespace) -> int:
                   f"{record.events} events ({record.calls} calls, "
                   f"{record.returns} returns, "
                   f"{stats.unclassified} unclassified, "
-                  f"{stats.dropped_tail} dropped tail)")
+                  f"{stats.dropped_tail} dropped tail, "
+                  f"{stats.offset_mismatches} offset mismatches, "
+                  f"{stats.backwards_returns} backwards returns)")
             return 0
+        if args.corpus_command == "fetch":
+            return _corpus_fetch(args)
         store = CorpusStore.open(args.corpus)
         if args.corpus_command == "info":
             print(format_table(
@@ -492,6 +564,20 @@ def _corpus_command(args: argparse.Namespace) -> int:
             print(f"corpus {store.root} ok: "
                   f"{len(store.manifest)} shards verified")
             return 0
+        if args.corpus_command == "diffcheck":
+            return _corpus_diffcheck(args, store)
+        if args.corpus_command == "report":
+            from repro.corpus import corpus_report
+
+            executor = _make_executor(args)
+            title, headers, rows = corpus_report(
+                store, ras_entries=args.ras_entries, executor=executor,
+                names=args.shards, engine=args.engine)
+            print(format_table(headers, rows, title=title))
+            _print_sweep_summary(executor)
+            if args.json:
+                return _write_json(args, title, headers, rows, executor)
+            return 0
         # replay
         executor = _make_executor(args)
         title, headers, rows = corpus_depth_sweep(
@@ -506,6 +592,86 @@ def _corpus_command(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"repro-sim corpus: {error}", file=sys.stderr)
         return 1
+
+
+def _corpus_fetch(args: argparse.Namespace) -> int:
+    from repro.corpus import (
+        CorpusStore,
+        TraceSetManifest,
+        check_manifest,
+        fetch_and_build,
+    )
+    from repro.errors import ReproError
+
+    if args.check_manifest:
+        manifest = check_manifest(args.manifest)
+        print(f"manifest ok: {manifest.name} "
+              f"({len(manifest.traces)} traces)")
+        return 0
+    if args.corpus is None:
+        print("repro-sim corpus fetch: --corpus is required "
+              "(or pass --check-manifest for offline validation)",
+              file=sys.stderr)
+        return 2
+    manifest = TraceSetManifest.load(args.manifest)
+    store = CorpusStore.open_or_create(args.corpus)
+    try:
+        records = fetch_and_build(
+            manifest, store, dest_dir=args.dest, names=args.trace_names,
+            jobs=args.jobs, limit=args.limit, progress=print)
+    except ReproError as error:
+        print(f"repro-sim corpus fetch: {error}", file=sys.stderr)
+        return 1
+    print(f"corpus {store.root}: {len(store.manifest)} shards "
+          f"({len(records)} new from trace set {manifest.name!r})")
+    return 0
+
+
+def _corpus_diffcheck(args: argparse.Namespace, store) -> int:
+    from repro.corpus import diff_corpus
+
+    executor = _make_executor(args)
+    reports = diff_corpus(
+        store, ras_entries=args.ras_entries,
+        mechanism=RepairMechanism(args.mechanism),
+        executor=executor, names=args.shards)
+    headers = ["shard", "events", "returns", "ours %", "reference %",
+               "divergences"]
+    rows: List[List[object]] = []
+    for report in reports:
+        rate = (lambda hits: None if report.returns == 0
+                else round(100 * hits / report.returns, 2))
+        rows.append([report.shard, report.events, report.returns,
+                     rate(report.ours_hits), rate(report.reference_hits),
+                     report.divergences])
+    title = (f"Differential check ({args.mechanism} vs reference "
+             f"ChampSim, {args.ras_entries}-entry RAS)")
+    print(format_table(headers, rows, title=title))
+    _print_sweep_summary(executor)
+    diverging = [report for report in reports if not report.ok]
+    for report in diverging:
+        first = report.first_divergence or {}
+        print(f"repro-sim corpus diffcheck: {report.shard}: "
+              f"{report.divergences} divergences; first at event "
+              f"{first.get('event')}: ours={first.get('ours')} "
+              f"reference={first.get('reference')}", file=sys.stderr)
+    if args.report:
+        payload = {
+            "command": "corpus diffcheck",
+            "mechanism": args.mechanism,
+            "ras_entries": args.ras_entries,
+            "ok": not diverging,
+            "reports": [report.to_json_dict() for report in reports],
+        }
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"diff report written to {args.report}", file=sys.stderr)
+    if args.json:
+        status = _write_json(args, title, headers, rows, executor)
+        if status:
+            return status
+    return 1 if diverging else 0
 
 
 def _make_executor(args: argparse.Namespace) -> SweepExecutor:

@@ -29,6 +29,14 @@ class RepairMechanism(enum.Enum):
     #: that a checkpointed pointer might still reference, so a
     #: pointer-only restore also recovers contents.
     SELF_CHECKPOINT = "self-checkpoint"
+    #: ChampSim's ``return_stack``: a bounded deque that drops from the
+    #: bottom on overflow, stores *call sites*, and learns per-call-site
+    #: instruction sizes (``call_size_trackers``) so predictions land at
+    #: call + size — the realism feature variable-length ISAs need. No
+    #: repair state (wrong-path damage persists, like NONE); used for
+    #: cross-validation against the reference ChampSim model
+    #: (see docs/validation.md).
+    CHAMPSIM = "champsim"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -87,11 +87,15 @@ from repro.trace.replay import TraceShardSpec, replay_shard
 #: of the execution-driven CPUs (bit-identical counters, several times
 #: the throughput; see docs/engines.md and docs/performance.md).
 ENGINES = ("cycle", "cycle-fast", "fast", "multipath", "multipath-fast",
-           "trace", "batch")
+           "trace", "batch", "diffcheck")
 
 #: The engines that replay recorded trace shards (their jobs carry a
-#: TraceShardSpec instead of a workload).
-TRACE_ENGINES = ("trace", "batch")
+#: TraceShardSpec instead of a workload). ``"diffcheck"`` replays a
+#: shard through the configured RAS variant *and* the reference
+#: ChampSim model side by side (:mod:`repro.corpus.diffcheck`),
+#: reporting divergence counts — cached by shard checksum like any
+#: other trace job.
+TRACE_ENGINES = ("trace", "batch", "diffcheck")
 
 #: Where cache misses execute: ``"local"`` (in-process / process pool)
 #: or ``"cluster"`` (work-stealing remote workers, docs/distributed.md).
@@ -331,6 +335,32 @@ def _run_trace_job(job: ExperimentJob) -> JobResult:
     shard = job.workload
     assert isinstance(shard, TraceShardSpec)
     predictor = job.config.predictor
+    if job.engine == "diffcheck":
+        from repro.corpus.diffcheck import diff_shard
+        report = diff_shard(shard, ras_entries=predictor.ras_entries,
+                            mechanism=predictor.ras_repair)
+        returns = report.returns
+        return JobResult(
+            engine=job.engine,
+            instructions=report.events,
+            cycles=0.0,
+            ipc=0.0,
+            counters={
+                "returns": returns,
+                "return_hits": report.ours_hits,
+                "reference_hits": report.reference_hits,
+                "divergences": report.divergences,
+                "calls": shard.calls or 0,
+            },
+            rates={
+                "return_accuracy": (report.ours_hits / returns
+                                    if returns else None),
+                "reference_accuracy": (report.reference_hits / returns
+                                       if returns else None),
+                "agreement": (1.0 - report.divergences / returns
+                              if returns else None),
+            },
+        )
     if job.engine == "batch":
         result = replay_shard_batched(shard,
                                       ras_entries=predictor.ras_entries,

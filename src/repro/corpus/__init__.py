@@ -16,6 +16,23 @@ from repro.corpus.champsim import (
     classify_branch,
     iter_champsim_records,
 )
+from repro.corpus.diffcheck import (
+    DiffReport,
+    ReferenceReturnStack,
+    diff_corpus,
+    diff_events,
+    diff_shard,
+)
+from repro.corpus.fetch import (
+    TRACESET_SCHEMA,
+    TraceSetEntry,
+    TraceSetManifest,
+    check_manifest,
+    fetch_and_build,
+    fetch_entry,
+    fetch_set,
+    ingest_traces,
+)
 from repro.corpus.manifest import (
     MANIFEST_SCHEMA,
     CorpusManifest,
@@ -23,24 +40,49 @@ from repro.corpus.manifest import (
 )
 from repro.corpus.replay import (
     DEFAULT_SIZES,
+    REPORT_MECHANISMS,
     corpus_depth_results,
     corpus_depth_sweep,
+    corpus_report,
 )
-from repro.corpus.store import CorpusStore, workload_shard_name
-from repro.errors import CorpusError
+from repro.corpus.store import (
+    CorpusStore,
+    ingest_champsim_shard,
+    workload_shard_name,
+    write_shard_file,
+)
+from repro.errors import CorpusError, DivergenceError
 
 __all__ = [
     "CorpusError",
     "CorpusManifest",
     "CorpusStore",
     "DEFAULT_SIZES",
+    "DiffReport",
+    "DivergenceError",
     "ImportStats",
     "MANIFEST_SCHEMA",
+    "REPORT_MECHANISMS",
+    "ReferenceReturnStack",
     "ShardRecord",
+    "TRACESET_SCHEMA",
+    "TraceSetEntry",
+    "TraceSetManifest",
     "champsim_events",
+    "check_manifest",
     "classify_branch",
     "corpus_depth_results",
     "corpus_depth_sweep",
+    "corpus_report",
+    "diff_corpus",
+    "diff_events",
+    "diff_shard",
+    "fetch_and_build",
+    "fetch_entry",
+    "fetch_set",
+    "ingest_champsim_shard",
+    "ingest_traces",
     "iter_champsim_records",
     "workload_shard_name",
+    "write_shard_file",
 ]

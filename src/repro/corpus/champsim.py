@@ -73,15 +73,33 @@ _XZ_MAGIC = b"\xfd7zXZ\x00"
 _GZIP_MAGIC = b"\x1f\x8b"
 
 
+#: Depth bound of the import-time shadow call stack that measures
+#: return-offset mismatches; deeper call chains just stop attributing
+#: returns to calls (never an error).
+SHADOW_STACK_DEPTH = 4096
+
+
 @dataclasses.dataclass
 class ImportStats:
-    """What one ChampSim import saw, for reporting and sanity checks."""
+    """What one ChampSim import saw, for reporting and sanity checks.
+
+    ``offset_mismatches`` counts returns whose target is *not* its
+    call site + 4 — exactly the returns our fixed-width ``pc + 4``
+    replay heuristic would mispredict but ChampSim-style call-size
+    calibration can recover (see docs/validation.md). It is measured
+    with a bounded shadow call stack at import time; returns with no
+    matching call in view are not counted either way.
+    ``backwards_returns`` counts the subset whose target lies *below*
+    the call site (the pattern ChampSim warns about).
+    """
 
     records: int = 0
     branches: int = 0
     events: int = 0
     unclassified: int = 0
     dropped_tail: int = 0
+    offset_mismatches: int = 0
+    backwards_returns: int = 0
     by_class: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def count(self, control: ControlClass) -> None:
@@ -184,12 +202,22 @@ def champsim_events(
     stats = stats if stats is not None else ImportStats()
     pending: Optional[Tuple[ControlClass, int, int]] = None
     gap = 0
+    shadow: list = []  # call sites, for offset-mismatch attribution
     for record in iter_champsim_records(path, limit=limit):
         ip = record[0]
         is_branch = record[1]
         if pending is not None:
             control, branch_ip, branch_gap = pending
             stats.count(control)
+            if control.is_call:
+                if len(shadow) < SHADOW_STACK_DEPTH:
+                    shadow.append(branch_ip)
+            elif control is ControlClass.RETURN and shadow:
+                call_ip = shadow.pop()
+                if ip != call_ip + 4:
+                    stats.offset_mismatches += 1
+                if ip < call_ip:
+                    stats.backwards_returns += 1
             yield ControlFlowEvent(control, branch_ip, ip, branch_gap)
             pending = None
         stats.records += 1

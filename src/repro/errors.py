@@ -49,6 +49,12 @@ class CorpusError(ReproError):
     """
 
 
+class DivergenceError(ReproError):
+    """A differential replay found our model and the reference model
+    disagreeing (see :mod:`repro.corpus.diffcheck`); the message names
+    the shard and the first diverging event."""
+
+
 class ClusterError(ReproError):
     """A distributed-sweep operation failed (bad message, dead lease,
     a job that exhausted its retry budget, ...)."""

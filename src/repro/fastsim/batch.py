@@ -385,6 +385,66 @@ class _LinkedLane(_LaneBase):
                 self._tos = slot
 
 
+class _ChampSimLane(_LaneBase):
+    """ChampSim ``return_stack`` semantics, inlined (see ChampSimRas).
+
+    The stack is a bounded deque of *call sites* that drops from the
+    bottom on overflow; a return predicts top + learned call size, then
+    calibrates the tracker against the resolved target. An empty-stack
+    return yields no prediction, so the BTB fallback is observable and
+    the lane drives a real :class:`BranchTargetBuffer` exactly like the
+    streaming evaluator.
+    """
+
+    __slots__ = ("_stack", "_trackers", "_mask", "_entries", "_btb")
+
+    def __init__(self, entries: int, btb: Optional[BranchTargetBuffer]
+                 ) -> None:
+        super().__init__()
+        from repro.bpred.ras import ChampSimRas
+        self._stack: List[int] = []
+        self._trackers = ([ChampSimRas.DEFAULT_CALL_SIZE]
+                          * ChampSimRas.NUM_CALL_SIZE_TRACKERS)
+        self._mask = ChampSimRas.NUM_CALL_SIZE_TRACKERS - 1
+        self._entries = entries
+        self._btb = btb
+
+    def run(self, batch: EventBatch) -> None:
+        stack = self._stack
+        trackers = self._trackers
+        mask = self._mask
+        entries = self._entries
+        btb = self._btb
+        return_idx = _RETURN_IDX
+        for cls, pc, next_pc in zip(batch.classes, batch.pcs,
+                                    batch.next_pcs):
+            if cls == return_idx:
+                if stack:
+                    call_ip = stack.pop()
+                    predicted: Optional[int] = (
+                        call_ip + trackers[call_ip & mask])
+                    size = (call_ip - next_pc if call_ip > next_pc
+                            else next_pc - call_ip)
+                    if size <= 10:
+                        trackers[call_ip & mask] = size
+                elif btb is not None:
+                    self.underflows += 1
+                    predicted = btb.lookup(pc)
+                else:
+                    self.underflows += 1
+                    predicted = None
+                self.returns += 1
+                if predicted == next_pc:
+                    self.hits += 1
+                if btb is not None:
+                    btb.update(pc, next_pc, True)
+            else:
+                stack.append(pc)
+                if len(stack) > entries:
+                    del stack[0]
+                    self.overflows += 1
+
+
 def _make_lane(ras_entries: int, mechanism: RepairMechanism,
                btb_fallback: bool) -> _LaneBase:
     if ras_entries < 1:
@@ -394,6 +454,8 @@ def _make_lane(ras_entries: int, mechanism: RepairMechanism,
         return _LinkedLane(ras_entries, 4, btb)
     if mechanism is RepairMechanism.VALID_BITS:
         return _ValidBitsLane(ras_entries, btb)
+    if mechanism is RepairMechanism.CHAMPSIM:
+        return _ChampSimLane(ras_entries, btb)
     return _CircularLane(ras_entries)
 
 

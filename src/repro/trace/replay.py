@@ -93,9 +93,16 @@ class TraceShardSpec:
 
 
 class _Lane:
-    """Replay state for one RAS configuration during a shared pass."""
+    """Replay state for one RAS configuration during a shared pass.
 
-    __slots__ = ("ras", "btb", "returns", "hits")
+    The ``champsim`` mechanism replays through the native ChampSim API:
+    calls push the *call site*, and a return peeks the prediction, then
+    calibrates the call-size tracker against the resolved target — the
+    semantics :mod:`repro.corpus.diffcheck` cross-validates against an
+    independent transliteration of the C++.
+    """
+
+    __slots__ = ("ras", "btb", "returns", "hits", "_champsim")
 
     def __init__(self, ras_entries: int, mechanism: RepairMechanism,
                  btb_fallback: bool) -> None:
@@ -103,11 +110,21 @@ class _Lane:
         self.btb = BranchTargetBuffer() if btb_fallback else None
         self.returns = 0
         self.hits = 0
+        self._champsim = mechanism is RepairMechanism.CHAMPSIM
 
-    def step(self, event: ControlFlowEvent) -> None:
+    def step(self, event: ControlFlowEvent) -> Optional[int]:
+        """Advance one event; returns the prediction made for a RETURN
+        (``None`` both for non-returns and for no-prediction returns —
+        callers that care about the distinction check ``event.control``).
+        """
         control = event.control
+        predicted: Optional[int] = None
         if control is ControlClass.RETURN:
-            predicted = self.ras.pop()
+            if self._champsim:
+                predicted = self.ras.prediction()
+                self.ras.calibrate_call_size(event.next_pc)
+            else:
+                predicted = self.ras.pop()
             if predicted is None and self.btb is not None:
                 predicted = self.btb.lookup(event.pc)
             self.returns += 1
@@ -116,7 +133,11 @@ class _Lane:
             if self.btb is not None:
                 self.btb.update(event.pc, event.next_pc, True)
         if control.is_call:
-            self.ras.push(event.pc + 4)
+            if self._champsim:
+                self.ras.push_call(event.pc)
+            else:
+                self.ras.push(event.pc + 4)
+        return predicted
 
     def result(self) -> TraceRasResult:
         return TraceRasResult(

@@ -1,0 +1,150 @@
+"""Property tests for the ChampSim ``return_stack`` port.
+
+The port (:class:`repro.bpred.ras.ChampSimRas`) must stay bit-identical
+to :class:`repro.corpus.diffcheck.ReferenceReturnStack`, the deliberate
+straight-line transliteration of ChampSim's
+``btb/basic_btb/return_stack.cc`` — over *randomized* call/return
+streams, including deque overflow (drop-from-bottom) and the
+backwards-return path. The corpus-level counterpart of these unit
+properties is :mod:`repro.corpus.diffcheck` (see docs/validation.md).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.bpred import ChampSimRas, CircularRas, make_ras
+from repro.config import RepairMechanism
+from repro.corpus import ReferenceReturnStack
+from repro.errors import ConfigError
+from repro.isa.opcodes import WORD_SIZE
+
+# ---------------------------------------------------------------------------
+# Strategies: interleaved call/return streams over a small address
+# space, so tracker slots collide and the deque overflows in practice.
+
+_ips = st.integers(min_value=0, max_value=1 << 14)
+_ops = st.lists(
+    st.one_of(st.tuples(st.just("call"), _ips),
+              st.tuples(st.just("return"), _ips)),
+    max_size=200,
+)
+
+
+def _drive(ops, entries):
+    """Run one op stream through both models, asserting lockstep."""
+    ours = ChampSimRas(entries)
+    reference = ReferenceReturnStack(max_size=entries)
+    for kind, value in ops:
+        if kind == "call":
+            ours.push_call(value)
+            reference.push(value)
+        else:
+            assert ours.prediction() == reference.prediction()
+            ours.calibrate_call_size(value)
+            reference.calibrate_call_size(value)
+    return ours, reference
+
+
+class TestBitIdentityProperties:
+    @given(ops=_ops)
+    def test_predictions_match_reference_transliteration(self, ops):
+        """Every prediction over a random stream equals the reference's,
+        and the full final state (stack + trackers) matches too."""
+        ours, reference = _drive(ops, entries=8)
+        assert ours.depth == len(reference.stack)
+        assert ours.call_size_trackers == reference.call_size_trackers
+        assert ours.prediction() == reference.prediction()
+
+    @given(ops=_ops, entries=st.integers(min_value=1, max_value=16))
+    def test_identity_holds_for_any_capacity(self, ops, entries):
+        """Capacity only changes *when* the deque drops from the bottom;
+        it must never desynchronise the two models."""
+        ours, reference = _drive(ops, entries)
+        assert ours.logical_entries() == [
+            ip + reference.call_size_trackers[
+                ip & (len(reference.call_size_trackers) - 1)]
+            for ip in reversed(reference.stack)]
+
+    @given(calls=st.lists(_ips, min_size=9, max_size=40))
+    def test_overflow_drops_from_the_bottom(self, calls):
+        """Past capacity the *oldest* call is discarded (deque
+        ``pop_front``), unlike the wrapping CircularRas."""
+        ours = ChampSimRas(8)
+        for ip in calls:
+            ours.push_call(ip)
+        kept = calls[-8:]
+        assert ours.depth == 8
+        assert ours.logical_entries() == [
+            ip + ours.call_size_trackers[ip & 1023]
+            for ip in reversed(kept)]
+        assert ours.stats["overflows"].value == len(calls) - 8
+
+
+class TestChampSimSemantics:
+    def test_calibration_learns_plausible_sizes_only(self):
+        ras = ChampSimRas(4)
+        ras.push_call(1000)
+        ras.calibrate_call_size(1010)  # size 10: the largest accepted
+        assert ras.call_size_trackers[1000 & 1023] == 10
+        ras.push_call(1000)
+        ras.calibrate_call_size(1011)  # size 11: rejected, keeps 10
+        assert ras.call_size_trackers[1000 & 1023] == 10
+        ras.push_call(2000)
+        ras.calibrate_call_size(2005)
+        assert ras.call_size_trackers[2000 & 1023] == 5
+        ras.push_call(2000)
+        assert ras.prediction() == 2005
+
+    def test_backwards_return_counted_and_calibrated(self):
+        ras = ChampSimRas(4)
+        ras.push_call(1000)
+        ras.calibrate_call_size(997)  # 3 bytes *below* the call site
+        assert ras.backwards_returns == 1
+        assert ras.call_size_trackers[1000 & 1023] == 3
+        ras.push_call(3000)
+        ras.calibrate_call_size(2000)  # 1000 below: counted, rejected
+        assert ras.backwards_returns == 2
+        assert ras.call_size_trackers[3000 & 1023] == \
+            ChampSimRas.DEFAULT_CALL_SIZE
+
+    def test_empty_stack_prediction_and_calibration(self):
+        ras = ChampSimRas(4)
+        assert ras.prediction() is None
+        ras.calibrate_call_size(123)  # no-op, counted as underflow
+        assert ras.stats["underflows"].value == 1
+
+    def test_generic_interface_matches_fixed_width_isa(self):
+        """The BaseRas adapters recover the call site from the pushed
+        return address, so with untrained trackers pop() round-trips."""
+        ras = make_ras(8, RepairMechanism.CHAMPSIM)
+        assert isinstance(ras, ChampSimRas)
+        ras.push(100 + WORD_SIZE)
+        assert ras.top() == 100 + WORD_SIZE
+        assert ras.pop() == 100 + WORD_SIZE
+        assert ras.pop() is None
+        assert ras.checkpoint() is None
+        ras.restore(None)  # no repair state: must be a no-op
+
+    def test_circular_ras_rejects_champsim_kind(self):
+        with pytest.raises(ConfigError):
+            CircularRas(8, RepairMechanism.CHAMPSIM)
+
+    def test_clone_is_independent(self):
+        ras = ChampSimRas(4)
+        ras.push_call(1000)
+        ras.calibrate_call_size(1005)
+        ras.push_call(2000)
+        twin = ras.clone()
+        twin.push_call(3000)
+        twin.calibrate_call_size(2000)
+        assert ras.depth == 1
+        assert ras.call_size_trackers[3000 & 1023] == \
+            ChampSimRas.DEFAULT_CALL_SIZE
+        assert ras.prediction() == 2000 + ChampSimRas.DEFAULT_CALL_SIZE
+        assert twin.call_size_trackers[1000 & 1023] == 5
+
+    def test_champsim_not_in_primary_mechanisms(self):
+        from repro.config.options import PRIMARY_MECHANISMS
+        assert RepairMechanism.CHAMPSIM not in PRIMARY_MECHANISMS
+        assert RepairMechanism("champsim") is RepairMechanism.CHAMPSIM

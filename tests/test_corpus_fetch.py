@@ -1,0 +1,255 @@
+"""Tests for trace-set manifests, resumable fetch, parallel ingestion.
+
+Everything runs offline: "remote" traces are relative paths resolved
+against the manifest's directory, exactly how the corpus-smoke CI job
+builds its corpus from the checked-in sample trace
+(docs/validation.md §3).
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.corpus import (
+    CorpusError,
+    CorpusStore,
+    ImportStats,
+    TraceSetManifest,
+    champsim_events,
+    check_manifest,
+    fetch_and_build,
+    fetch_entry,
+    fetch_set,
+    ingest_traces,
+)
+from repro.corpus.champsim import (
+    RECORD,
+    REG_FLAGS,
+    REG_INSTRUCTION_POINTER,
+    REG_STACK_POINTER,
+)
+
+DATA = pathlib.Path(__file__).parent / "data"
+SAMPLE_CHAMPSIM = DATA / "sample_champsim.trace.xz"
+
+SAMPLE_SHA = hashlib.sha256(SAMPLE_CHAMPSIM.read_bytes()).hexdigest()
+
+
+def _write_manifest(path, traces, name="testset", schema=1):
+    path.write_text(json.dumps({
+        "schema": schema,
+        "name": name,
+        "description": "test trace set",
+        "traces": traces,
+    }))
+    return path
+
+
+def _sample_manifest(tmp_path, trace_name="sample"):
+    source = tmp_path / "source.trace.xz"
+    source.write_bytes(SAMPLE_CHAMPSIM.read_bytes())
+    return _write_manifest(tmp_path / "set.json", [
+        {"name": trace_name, "url": "source.trace.xz",
+         "sha256": SAMPLE_SHA, "bytes": source.stat().st_size},
+    ])
+
+
+class TestManifestValidation:
+    def test_check_manifest_accepts_the_checked_in_set(self):
+        manifest = check_manifest(
+            pathlib.Path("benchmarks/tracesets/sample.json"))
+        assert manifest.name == "sample"
+        assert manifest.traces[0].sha256 == SAMPLE_SHA
+
+    def test_all_problems_reported_at_once(self, tmp_path):
+        path = _write_manifest(tmp_path / "bad.json", [
+            {"name": "../evil", "url": "a.xz", "sha256": "0" * 64},
+            {"name": "ok", "url": "ftp://host/x", "sha256": "0" * 64},
+            {"name": "ok", "url": "b.xz", "sha256": "nothex"},
+        ])
+        with pytest.raises(CorpusError) as error:
+            check_manifest(path)
+        message = str(error.value)
+        assert "bad shard name" in message
+        assert "scheme 'ftp'" in message
+        assert "duplicate trace name 'ok'" in message
+        assert "64 lowercase hex" in message
+
+    def test_unsupported_schema_and_shapes(self, tmp_path):
+        with pytest.raises(CorpusError, match="schema"):
+            check_manifest(_write_manifest(
+                tmp_path / "s.json", [], schema=99))
+        with pytest.raises(CorpusError, match="non-empty"):
+            check_manifest(_write_manifest(tmp_path / "e.json", []))
+        with pytest.raises(CorpusError, match="not valid JSON"):
+            (tmp_path / "j.json").write_text("{")
+            check_manifest(tmp_path / "j.json")
+
+    def test_entry_filename_keeps_compression_suffixes(self, tmp_path):
+        manifest = TraceSetManifest.load(_sample_manifest(tmp_path))
+        entry = manifest.entry("sample")
+        assert entry.filename == "sample.trace.xz"
+        with pytest.raises(CorpusError, match="no trace named"):
+            manifest.entry("missing")
+
+
+class TestFetch:
+    def test_fetch_verifies_and_skips_when_present(self, tmp_path):
+        manifest = TraceSetManifest.load(_sample_manifest(tmp_path))
+        dest = tmp_path / "downloads"
+        lines = []
+        fetched = fetch_set(manifest, dest, progress=lines.append)
+        assert [p.name for _, p in fetched] == ["sample.trace.xz"]
+        assert any("verified 312 bytes" in line for line in lines)
+        again = fetch_entry(manifest, manifest.entry("sample"), dest,
+                            progress=lines.append)
+        assert again == fetched[0][1]
+        assert any("already fetched" in line for line in lines)
+
+    def test_resume_completes_a_partial_transfer(self, tmp_path):
+        manifest = TraceSetManifest.load(_sample_manifest(tmp_path))
+        dest = tmp_path / "downloads"
+        dest.mkdir()
+        payload = SAMPLE_CHAMPSIM.read_bytes()
+        (dest / "sample.trace.xz.part").write_bytes(payload[:100])
+        lines = []
+        path = fetch_entry(manifest, manifest.entry("sample"), dest,
+                           progress=lines.append)
+        assert path.read_bytes() == payload
+        assert any("resuming" in line and "at byte 100" in line
+                   for line in lines)
+        assert not (dest / "sample.trace.xz.part").exists()
+
+    def test_digest_mismatch_fails_and_cleans_the_partial(self, tmp_path):
+        source = tmp_path / "source.trace.xz"
+        source.write_bytes(SAMPLE_CHAMPSIM.read_bytes())
+        manifest = TraceSetManifest.load(_write_manifest(
+            tmp_path / "set.json",
+            [{"name": "sample", "url": "source.trace.xz",
+              "sha256": "0" * 64}]))
+        dest = tmp_path / "downloads"
+        with pytest.raises(CorpusError, match="digest mismatch"):
+            fetch_entry(manifest, manifest.entry("sample"), dest)
+        assert not list(dest.glob("*.part"))
+
+    def test_existing_wrong_file_refuses_to_overwrite(self, tmp_path):
+        manifest = TraceSetManifest.load(_sample_manifest(tmp_path))
+        dest = tmp_path / "downloads"
+        dest.mkdir()
+        (dest / "sample.trace.xz").write_bytes(b"not the trace")
+        with pytest.raises(CorpusError, match="remove it to re-fetch"):
+            fetch_entry(manifest, manifest.entry("sample"), dest)
+
+    def test_missing_local_source_is_a_typed_error(self, tmp_path):
+        manifest = TraceSetManifest.load(_write_manifest(
+            tmp_path / "set.json",
+            [{"name": "gone", "url": "nope.trace.xz",
+              "sha256": "0" * 64}]))
+        with pytest.raises(CorpusError, match="does not exist"):
+            fetch_entry(manifest, manifest.entry("gone"),
+                        tmp_path / "downloads")
+
+
+class TestIngestTraces:
+    def _copies(self, tmp_path, count):
+        items = []
+        for index in range(count):
+            path = tmp_path / f"copy{index}.trace.xz"
+            path.write_bytes(SAMPLE_CHAMPSIM.read_bytes())
+            items.append((f"shard{index}", path))
+        return items
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = CorpusStore.create(tmp_path / "serial")
+        parallel = CorpusStore.create(tmp_path / "parallel")
+        items = self._copies(tmp_path, 3)
+        ingest_traces(serial, items, jobs=1)
+        ingest_traces(parallel, items, jobs=3)
+        for name in ("shard0", "shard1", "shard2"):
+            ours = serial.manifest.get(name)
+            theirs = parallel.manifest.get(name)
+            assert ours.checksum == theirs.checksum
+            assert (ours.events, ours.calls, ours.returns) == \
+                (theirs.events, theirs.calls, theirs.returns)
+
+    def test_all_or_nothing_on_failure(self, tmp_path):
+        store = CorpusStore.create(tmp_path / "corpus")
+        items = self._copies(tmp_path, 2)
+        items.append(("broken", tmp_path / "missing.trace.xz"))
+        with pytest.raises(Exception):
+            ingest_traces(store, items, jobs=1)
+        assert len(store.manifest) == 0
+        assert not list(store.root.glob("*.rastrace"))
+
+    def test_duplicate_names_rejected_up_front(self, tmp_path):
+        store = CorpusStore.create(tmp_path / "corpus")
+        items = self._copies(tmp_path, 1)
+        with pytest.raises(CorpusError, match="duplicate shard name"):
+            ingest_traces(store, items + items, jobs=1)
+        ingest_traces(store, items, jobs=1)
+        with pytest.raises(CorpusError, match="duplicate shard name"):
+            ingest_traces(store, items, jobs=1)
+
+
+class TestFetchAndBuild:
+    def test_build_then_idempotent_rerun(self, tmp_path):
+        manifest = TraceSetManifest.load(_sample_manifest(tmp_path))
+        store = CorpusStore.create(tmp_path / "corpus")
+        first = fetch_and_build(manifest, store, jobs=2)
+        assert len(first) == 1
+        record, stats = first[0]
+        assert record.name == "sample"
+        assert record.returns == 93
+        assert stats.offset_mismatches == 0
+        lines = []
+        second = fetch_and_build(manifest, store, progress=lines.append)
+        assert second == []
+        assert any("already in corpus" in line for line in lines)
+        store.verify()
+
+
+def _pack(ip, is_branch, taken, dests, sources):
+    dests = tuple(dests) + (0,) * (2 - len(dests))
+    sources = tuple(sources) + (0,) * (4 - len(sources))
+    return RECORD.pack(ip, is_branch, taken, *dests, *sources,
+                       0, 0, 0, 0, 0, 0)
+
+
+def _call(ip):
+    return _pack(ip, 1, 1, (REG_INSTRUCTION_POINTER, REG_STACK_POINTER),
+                 (REG_INSTRUCTION_POINTER, REG_STACK_POINTER))
+
+
+def _ret(ip):
+    return _pack(ip, 1, 1, (REG_INSTRUCTION_POINTER, REG_STACK_POINTER),
+                 (REG_STACK_POINTER,))
+
+
+def _plain(ip):
+    return _pack(ip, 0, 0, (1,), (REG_FLAGS,))
+
+
+class TestOffsetMismatchCounter:
+    def test_variable_call_sizes_are_counted(self, tmp_path):
+        """A return landing at call+5 (and one *below* its call) is
+        exactly what ``offset_mismatches`` / ``backwards_returns``
+        quantify — the returns where champsim calibration can beat the
+        fixed pc+4 convention."""
+        records = [
+            _call(1000), _plain(2000),   # call size 5:
+            _ret(2004), _plain(1005),    #   return to 1000 + 5
+            _call(3000), _plain(4000),   # backwards return:
+            _ret(4004), _plain(2990),    #   2990 < call ip 3000
+            _call(5000), _plain(6000),   # conventional call size 4:
+            _ret(6004), _plain(5004),    #   no mismatch
+        ]
+        trace = tmp_path / "var.trace"
+        trace.write_bytes(b"".join(records))
+        stats = ImportStats()
+        events = list(champsim_events(trace, stats=stats))
+        assert stats.by_class["return"] == 3
+        assert stats.offset_mismatches == 2
+        assert stats.backwards_returns == 1
+        assert len(events) == 6  # one event per branch record
